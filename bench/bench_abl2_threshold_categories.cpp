@@ -1,0 +1,82 @@
+// Ablation 2 (paper Sec 4, difference (2)): three-category classification
+// (stable-0 / unstable / stable-1) vs the traditional two-category 0.5
+// threshold.
+//
+// With the 0.5 threshold every challenge is usable, but responses near the
+// boundary flip; with three categories the marginal band is discarded and
+// the remaining CRPs are error-free even at V/T corners. This bench
+// measures one-shot response error rates at every corner for both schemes.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "puf/threshold_adjust.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xpuf;
+  const Cli cli(argc, argv);
+  const BenchScale scale = resolve_scale(cli);
+  benchutil::banner("Ablation 2: three-category thresholds vs binary 0.5 threshold",
+                    scale);
+
+  sim::ChipPopulation pop(benchutil::population_config(scale));
+  Rng rng = pop.measurement_rng();
+  const auto& chip = pop.chip(0);
+
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 5'000;
+  ecfg.trials = scale.trials;
+  puf::ServerModel model = puf::Enroller(ecfg).enroll(chip, rng);
+
+  // Calibrate betas over the grid (the deployment configuration).
+  const std::size_t eval_n = std::min<std::size_t>(scale.challenges, 8'000);
+  const auto eval_challenges = puf::random_challenges(chip.stages(), eval_n, rng);
+  std::vector<puf::EvaluationBlock> blocks;
+  for (const auto& env : sim::paper_corner_grid())
+    blocks.push_back(
+        puf::measure_evaluation_block(chip, eval_challenges, env, scale.trials, rng));
+  model.set_betas(puf::find_betas(model, blocks).betas);
+
+  const std::size_t test_n = std::min<std::size_t>(scale.challenges, 20'000);
+
+  Table t("One-shot response error rate of PUF 0's model prediction");
+  t.set_header({"corner", "binary@0.5 (all CRPs)", "3-category (selected CRPs)",
+                "selected fraction"});
+  CsvWriter csv(benchutil::out_dir() + "/abl2_threshold_categories.csv",
+                {"corner", "binary_error", "selected_error", "selected_fraction"});
+
+  for (const auto& env : sim::paper_corner_grid()) {
+    std::size_t binary_err = 0;
+    std::size_t sel_total = 0, sel_err = 0;
+    Rng crng(2020);
+    for (std::size_t i = 0; i < test_n; ++i) {
+      const auto c = puf::random_challenge(chip.stages(), crng);
+      const double pred = model.predict_soft(0, c);
+      const bool predicted_bit = pred > 0.5;
+      // One-shot device evaluation at this corner.
+      const bool device_bit = chip.device_for_analysis(0).evaluate(c, env, rng);
+      if (predicted_bit != device_bit) ++binary_err;
+      const puf::StableClass cls = model.adjusted_thresholds(0).classify(pred);
+      if (cls != puf::StableClass::kUnstable) {
+        ++sel_total;
+        const bool sel_bit = cls == puf::StableClass::kStable1;
+        if (sel_bit != device_bit) ++sel_err;
+      }
+    }
+    t.add_row({env.label(),
+               Table::pct(static_cast<double>(binary_err) / test_n, 3),
+               sel_total > 0 ? Table::pct(static_cast<double>(sel_err) / sel_total, 4)
+                             : "n/a",
+               Table::pct(static_cast<double>(sel_total) / test_n, 1)});
+    csv.write_row(std::vector<double>{
+        env.voltage * 1000 + env.temperature,  // encoded corner key
+        static_cast<double>(binary_err) / test_n,
+        sel_total > 0 ? static_cast<double>(sel_err) / sel_total : 0.0,
+        static_cast<double>(sel_total) / test_n});
+    std::fprintf(stderr, "  [abl2] %s done\n", env.label().c_str());
+  }
+  t.print();
+  std::printf("\ntakeaway: the binary threshold leaves a persistent error floor from "
+              "marginal CRPs; discarding the unstable band buys (near-)zero error at "
+              "the cost of yield — the enabler of the zero-HD criterion.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Ablation 3: the beta safety-margin tradeoff (paper Sec 5's design knob).
+//
+// Sweeping beta0 down / beta1 up trades usable-CRP yield against residual
+// instability among selected CRPs. The paper picks the first beta pair with
+// zero violations; this bench shows the whole frontier, including the
+// trivial "extremely stringent" corner (0.0 / inf analog) the paper rejects
+// for discarding too many CRPs.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "puf/threshold_adjust.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xpuf;
+  const Cli cli(argc, argv);
+  const BenchScale scale = resolve_scale(cli);
+  benchutil::banner("Ablation 3: yield vs residual instability over the beta grid",
+                    scale);
+
+  sim::ChipPopulation pop(benchutil::population_config(scale));
+  Rng rng = pop.measurement_rng();
+  const auto& chip = pop.chip(0);
+  const std::size_t n_pufs = chip.puf_count();
+
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 5'000;
+  ecfg.trials = scale.trials;
+  puf::ServerModel model = puf::Enroller(ecfg).enroll(chip, rng);
+
+  // Evaluation data at the worst corners plus nominal.
+  const std::size_t eval_n = std::min<std::size_t>(scale.challenges, 8'000);
+  const auto eval_challenges = puf::random_challenges(chip.stages(), eval_n, rng);
+  std::vector<puf::EvaluationBlock> blocks;
+  for (const auto& env :
+       {sim::Environment::nominal(), sim::Environment{0.8, 0.0}, sim::Environment{0.8, 60.0},
+        sim::Environment{1.0, 0.0}, sim::Environment{1.0, 60.0}})
+    blocks.push_back(
+        puf::measure_evaluation_block(chip, eval_challenges, env, scale.trials, rng));
+
+  const std::vector<double> beta0s{1.00, 0.95, 0.90, 0.80, 0.70, 0.55, 0.40};
+  const std::vector<double> beta1s{1.00, 1.05, 1.10, 1.20, 1.30, 1.45, 1.60};
+
+  Table t("Yield (% of CRPs predicted usable, n=" + std::to_string(n_pufs) +
+          ") and residual violations over " + std::to_string(blocks.size()) +
+          " corners");
+  t.set_header({"beta0", "beta1", "yield", "violating CRPs", "violation rate"});
+  CsvWriter csv(benchutil::out_dir() + "/abl3_beta_sweep.csv",
+                {"beta0", "beta1", "yield", "violations", "violation_rate"});
+
+  for (std::size_t k = 0; k < beta0s.size(); ++k) {
+    const puf::BetaFactors betas{beta0s[k], beta1s[k]};
+    model.set_betas(betas);
+
+    // Yield on fresh random challenges.
+    Rng yrng(777);
+    const std::size_t yield_n = 20'000;
+    std::size_t usable = 0;
+    for (std::size_t i = 0; i < yield_n; ++i)
+      if (model.all_stable(puf::random_challenge(chip.stages(), yrng), n_pufs)) ++usable;
+
+    // Residual violations among selected CRPs on the evaluation blocks.
+    std::size_t selected = 0, violations = 0;
+    for (const auto& block : blocks) {
+      for (std::size_t c = 0; c < block.challenges.size(); ++c) {
+        for (std::size_t p = 0; p < n_pufs; ++p) {
+          const puf::StableClass cls = model.classify(p, block.challenges[c]);
+          if (cls == puf::StableClass::kUnstable) continue;
+          ++selected;
+          const double soft = block.soft[p][c];
+          const bool ok = (cls == puf::StableClass::kStable0 && soft == 0.0) ||
+                          (cls == puf::StableClass::kStable1 && soft == 1.0);
+          if (!ok) ++violations;
+        }
+      }
+    }
+    const double vrate =
+        selected > 0 ? static_cast<double>(violations) / static_cast<double>(selected)
+                     : 0.0;
+    t.add_row({Table::num(betas.beta0, 2), Table::num(betas.beta1, 2),
+               Table::pct(static_cast<double>(usable) / yield_n, 3),
+               std::to_string(violations), Table::sci(vrate, 2)});
+    csv.write_row(std::vector<double>{betas.beta0, betas.beta1,
+                                      static_cast<double>(usable) / yield_n,
+                                      static_cast<double>(violations), vrate});
+  }
+  t.print();
+  std::printf("\ntakeaway: the violation rate falls ~orders of magnitude per beta "
+              "step while yield falls more slowly in relative terms; at n=%zu the "
+              "clean point costs most of the raw yield, but even a 0.005%% yield of "
+              "a 64-stage space leaves ~9e14 usable challenges — the paper's Sec 5.2 "
+              "argument for why the stringent operating point is affordable.\n",
+              n_pufs);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared plumbing for the reproduction benches: standard population
+// construction from the CLI scale, output-directory handling, and the
+// header every bench prints so runs are self-describing.
+#pragma once
+
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "sim/population.hpp"
+
+namespace xpuf::benchutil {
+
+/// The standard simulated lot for a bench: `chips` chips of `n_pufs`
+/// 32-stage PUFs, fabricated from the canonical seed so every bench sees
+/// the same silicon.
+inline sim::PopulationConfig population_config(const BenchScale& scale,
+                                               std::size_t n_pufs = 10,
+                                               std::uint64_t seed = 2017) {
+  sim::PopulationConfig cfg;
+  cfg.n_chips = scale.chips;
+  cfg.n_pufs_per_chip = n_pufs;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Directory for CSV artifacts (created on demand).
+inline std::string out_dir() { return ensure_directory("bench_out"); }
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& experiment, const BenchScale& scale) {
+  std::printf("== %s ==\n", experiment.c_str());
+  std::printf("scale: %s | challenges=%llu trials=%llu chips=%llu\n",
+              scale.full ? "FULL (paper)" : "reduced",
+              static_cast<unsigned long long>(scale.challenges),
+              static_cast<unsigned long long>(scale.trials),
+              static_cast<unsigned long long>(scale.chips));
+  std::printf("(paper scale: 1,000,000 challenges x 100,000 evaluations, 10 chips; "
+              "run with --scale full or XPUF_BENCH_SCALE=full)\n\n");
+}
+
+}  // namespace xpuf::benchutil

@@ -1,0 +1,42 @@
+// Reproduces paper Fig 2: soft-response distribution of a single MUX
+// arbiter PUF under nominal conditions (0.9 V / 25 C).
+//
+// Paper result: 39.7% of challenges produce soft response 0.00 and 40.1%
+// produce 1.00 (i.e. ~80% are 100% stable), with the remainder spread
+// thinly between the extremes.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xpuf;
+  const Cli cli(argc, argv);
+  const BenchScale scale = resolve_scale(cli);
+  benchutil::banner("Fig 2: soft-response distribution, single MUX PUF, 0.9V/25C", scale);
+
+  sim::ChipPopulation pop(benchutil::population_config(scale));
+  Rng rng = pop.measurement_rng();
+  const auto study = analysis::study_soft_response(
+      pop.chip(0), 0, scale.challenges, scale.trials, sim::Environment::nominal(), rng);
+
+  std::printf("%s\n", study.histogram.render(60, 20).c_str());
+
+  Table t("Fig 2 headline statistics (paper values in parentheses)");
+  t.set_header({"statistic", "measured", "paper"});
+  t.add_row({"Pr(stable '0')  soft == 0.00", Table::pct(study.pr_stable0, 1), "39.7%"});
+  t.add_row({"Pr(stable '1')  soft == 1.00", Table::pct(study.pr_stable1, 1), "40.1%"});
+  t.add_row({"Pr(stable total)", Table::pct(study.pr_stable0 + study.pr_stable1, 1),
+             "79.8%"});
+  t.add_row({"challenges", std::to_string(study.challenges), "1,000,000"});
+  t.add_row({"evaluations per challenge", std::to_string(scale.trials), "100,000"});
+  t.print();
+
+  CsvWriter csv(benchutil::out_dir() + "/fig02_soft_response.csv",
+                {"bin_center", "fraction"});
+  for (std::size_t b = 0; b < study.histogram.bins(); ++b)
+    csv.write_row(std::vector<double>{study.histogram.bin_center(b),
+                                      study.histogram.fraction(b)});
+  std::printf("\nCSV written: %s\n", csv.path().c_str());
+  return 0;
+}

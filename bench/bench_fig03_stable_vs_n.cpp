@@ -1,0 +1,45 @@
+// Reproduces paper Fig 3: percentage of 100%-stable CRPs versus the number
+// of parallel PUFs n in an XOR PUF.
+//
+// Paper result: the fraction follows ~0.800^n (negligible inter-PUF
+// correlation); at n = 10 only 10.9% of measured CRPs are stable.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xpuf;
+  const Cli cli(argc, argv);
+  const BenchScale scale = resolve_scale(cli);
+  benchutil::banner("Fig 3: stable-CRP fraction vs XOR width n, 0.9V/25C", scale);
+
+  sim::ChipPopulation pop(benchutil::population_config(scale));
+  Rng rng = pop.measurement_rng();
+  const std::size_t max_n = 10;
+  const auto fractions = analysis::measured_stable_vs_n(
+      pop.chip(0), max_n, scale.challenges, scale.trials, sim::Environment::nominal(),
+      rng);
+  const double base = analysis::fit_exponential_base(fractions);
+
+  Table t("Fig 3: % stable CRPs vs n (paper: ~0.800^n, 10.9% at n=10)");
+  t.set_header({"n", "measured stable", "fit " + Table::num(base, 3) + "^n",
+                "paper 0.800^n"});
+  for (std::size_t n = 1; n <= max_n; ++n) {
+    t.add_row({std::to_string(n), Table::pct(fractions[n - 1], 2),
+               Table::pct(std::pow(base, static_cast<double>(n)), 2),
+               Table::pct(std::pow(0.800, static_cast<double>(n)), 2)});
+  }
+  t.print();
+  std::printf("\nfitted exponential base: %.3f (paper: 0.800)\n", base);
+  std::printf("stable fraction at n=10: %.1f%% (paper: 10.9%%)\n",
+              100.0 * fractions[max_n - 1]);
+
+  CsvWriter csv(benchutil::out_dir() + "/fig03_stable_vs_n.csv",
+                {"n", "measured_stable_fraction"});
+  for (std::size_t n = 1; n <= max_n; ++n)
+    csv.write_row(std::vector<double>{static_cast<double>(n), fractions[n - 1]});
+  std::printf("CSV written: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Fig 9: determining the threshold scaling factors beta0
+// and beta1 under nominal conditions (0.9 V / 25 C).
+//
+// Paper procedure: train on 5,000 CRPs, evaluate on 1,000,000; start both
+// betas at 1.00 and step until every model-selected CRP is stable. Paper
+// result across 10 chips: beta0 in 0.74..0.93 and beta1 in 1.04..1.08; the
+// deployment values are the most conservative (0.74 / 1.08).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "puf/threshold_adjust.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xpuf;
+  const Cli cli(argc, argv);
+  const BenchScale scale = resolve_scale(cli);
+  benchutil::banner("Fig 9: beta threshold scaling at nominal corner", scale);
+
+  sim::ChipPopulation pop(benchutil::population_config(scale));
+  Rng rng = pop.measurement_rng();
+  const auto env = sim::Environment::nominal();
+  const std::size_t train_n = 5'000;
+  // The evaluation sweep dominates runtime; cap it in reduced mode.
+  const std::size_t eval_n =
+      scale.full ? scale.challenges : std::min<std::size_t>(scale.challenges, 30'000);
+
+  Table t("Fig 9: per-chip betas (train 5,000 / evaluate " + std::to_string(eval_n) +
+          " CRPs at 0.9V, 25C)");
+  t.set_header({"chip", "Thr(0) train", "Thr(1) train", "beta0", "beta1",
+                "Thr(0) adj", "Thr(1) adj", "violations@1.0"});
+
+  CsvWriter csv(benchutil::out_dir() + "/fig09_beta_nominal.csv",
+                {"chip", "thr0", "thr1", "beta0", "beta1"});
+
+  std::vector<puf::BetaFactors> per_chip;
+  for (std::size_t chip_idx = 0; chip_idx < pop.size(); ++chip_idx) {
+    const auto& chip = pop.chip(chip_idx);
+    puf::EnrollmentConfig ecfg;
+    ecfg.training_challenges = train_n;
+    ecfg.trials = scale.trials;
+    puf::ServerModel model = puf::Enroller(ecfg).enroll(chip, rng);
+
+    const auto eval_challenges = puf::random_challenges(chip.stages(), eval_n, rng);
+    const auto block =
+        puf::measure_evaluation_block(chip, eval_challenges, env, scale.trials, rng);
+    const puf::BetaSearchResult res = puf::find_betas(model, {block});
+    per_chip.push_back(res.betas);
+
+    const auto raw = model.puf(0).thresholds;
+    const auto adj = puf::tighten(raw, res.betas);
+    t.add_row({std::to_string(chip_idx), Table::num(raw.thr0, 3), Table::num(raw.thr1, 3),
+               Table::num(res.betas.beta0, 2), Table::num(res.betas.beta1, 2),
+               Table::num(adj.thr0, 3), Table::num(adj.thr1, 3),
+               std::to_string(res.violations_before)});
+    csv.write_row(std::vector<double>{static_cast<double>(chip_idx), raw.thr0, raw.thr1,
+                                      res.betas.beta0, res.betas.beta1});
+    std::fprintf(stderr, "  [fig09] chip %zu: beta0=%.2f beta1=%.2f (converged=%d)\n",
+                 chip_idx, res.betas.beta0, res.betas.beta1, res.converged ? 1 : 0);
+  }
+  t.print();
+
+  const puf::BetaFactors lot = puf::conservative_betas(per_chip);
+  double b0lo = 1.0, b0hi = 0.0, b1lo = 9.0, b1hi = 0.0;
+  for (const auto& b : per_chip) {
+    b0lo = std::min(b0lo, b.beta0);
+    b0hi = std::max(b0hi, b.beta0);
+    b1lo = std::min(b1lo, b.beta1);
+    b1hi = std::max(b1hi, b.beta1);
+  }
+  std::printf("\nbeta0 range over chips: %.2f..%.2f (paper: 0.74..0.93)\n", b0lo, b0hi);
+  std::printf("beta1 range over chips: %.2f..%.2f (paper: 1.04..1.08)\n", b1lo, b1hi);
+  std::printf("lot deployment betas (most conservative): beta0=%.2f beta1=%.2f "
+              "(paper: 0.74 / 1.08)\n",
+              lot.beta0, lot.beta1);
+  return 0;
+}

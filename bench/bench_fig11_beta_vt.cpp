@@ -1,0 +1,84 @@
+// Reproduces paper Fig 11: beta threshold adjustment when the evaluation
+// set spans the full voltage/temperature grid (0.8-1.0 V x 0-60 C).
+//
+// Paper result: the test-set soft-response distribution widens under V/T
+// variation, but unstable CRPs remain concentrated in the middle, so the
+// same adjustment scheme works with more stringent betas than the nominal
+// case — without ever measuring the chip at the extreme corners per-CRP.
+#include <cstdio>
+
+#include "analysis/histogram.hpp"
+#include "bench_common.hpp"
+#include "puf/threshold_adjust.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xpuf;
+  const Cli cli(argc, argv);
+  const BenchScale scale = resolve_scale(cli);
+  benchutil::banner("Fig 11: beta adjustment across the 9-corner V/T grid", scale);
+
+  sim::ChipPopulation pop(benchutil::population_config(scale));
+  Rng rng = pop.measurement_rng();
+  const auto& chip = pop.chip(0);
+
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 5'000;
+  ecfg.trials = scale.trials;
+  puf::ServerModel model = puf::Enroller(ecfg).enroll(chip, rng);
+
+  const std::size_t eval_n =
+      scale.full ? scale.challenges : std::min<std::size_t>(scale.challenges, 10'000);
+  const auto eval_challenges = puf::random_challenges(chip.stages(), eval_n, rng);
+
+  // Nominal-only betas for reference, then the full 9-corner search.
+  const auto nominal_block = puf::measure_evaluation_block(
+      chip, eval_challenges, sim::Environment::nominal(), scale.trials, rng);
+  const puf::BetaSearchResult nominal = puf::find_betas(model, {nominal_block});
+
+  std::vector<puf::EvaluationBlock> blocks;
+  analysis::Histogram corner_unstable_preds(-0.6, 1.6, 44);
+  for (const auto& env : sim::paper_corner_grid()) {
+    blocks.push_back(
+        puf::measure_evaluation_block(chip, eval_challenges, env, scale.trials, rng));
+    std::fprintf(stderr, "  [fig11] measured corner %s\n", env.label().c_str());
+  }
+  const puf::BetaSearchResult grid = puf::find_betas(model, blocks);
+
+  // Where do the unstable CRPs sit in prediction space? (Paper: still
+  // concentrated in the middle, which is why beta scaling keeps working.)
+  for (const auto& block : blocks)
+    for (std::size_t c = 0; c < block.challenges.size(); ++c)
+      for (std::size_t p = 0; p < model.puf_count(); ++p)
+        if (!puf::measured_stable(block.soft[p][c]))
+          corner_unstable_preds.add(model.predict_soft(p, block.challenges[c]));
+
+  std::printf("model predictions of CRPs that were UNSTABLE at some corner "
+              "(concentrated near 0.5):\n%s\n",
+              corner_unstable_preds.render(50, 11).c_str());
+
+  Table t("Fig 11: betas under V/T variation vs nominal (train: 5,000 CRPs at 0.9V/25C)");
+  t.set_header({"evaluation set", "beta0", "beta1", "violations@1.0", "converged"});
+  t.add_row({"nominal corner only", Table::num(nominal.betas.beta0, 2),
+             Table::num(nominal.betas.beta1, 2),
+             std::to_string(nominal.violations_before),
+             nominal.converged ? "yes" : "no"});
+  t.add_row({"all 9 V/T corners", Table::num(grid.betas.beta0, 2),
+             Table::num(grid.betas.beta1, 2), std::to_string(grid.violations_before),
+             grid.converged ? "yes" : "no"});
+  t.print();
+
+  std::printf("\npaper: V/T betas are more stringent than nominal "
+              "(nominal 0.74/1.08 -> V/T-adjusted values tighten further)\n");
+  std::printf("observed tightening: beta0 %.2f -> %.2f, beta1 %.2f -> %.2f\n",
+              nominal.betas.beta0, grid.betas.beta0, nominal.betas.beta1,
+              grid.betas.beta1);
+
+  CsvWriter csv(benchutil::out_dir() + "/fig11_beta_vt.csv",
+                {"evaluation", "beta0", "beta1"});
+  csv.write_row(std::vector<std::string>{"nominal", Table::num(nominal.betas.beta0, 4),
+                                         Table::num(nominal.betas.beta1, 4)});
+  csv.write_row(std::vector<std::string>{"all_vt", Table::num(grid.betas.beta0, 4),
+                                         Table::num(grid.betas.beta1, 4)});
+  std::printf("CSV written: %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Reproduces the paper's reported training speeds as a google-benchmark
+// table (Sec 2.3 and Sec 5.1):
+//   - MLP attack training: 0.395 ms per CRP, roughly linear in the CRP
+//     count and only a weak function of n;
+//   - linear-regression enrollment of 5,000 CRPs: 4.3 ms.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "ml/linear_regression.hpp"
+#include "puf/attack.hpp"
+#include "puf/enrollment.hpp"
+#include "puf/selection.hpp"
+#include "sim/population.hpp"
+
+namespace {
+
+using namespace xpuf;
+
+const sim::ChipPopulation& population() {
+  static sim::ChipPopulation pop = [] {
+    sim::PopulationConfig cfg;
+    cfg.n_chips = 1;
+    cfg.n_pufs_per_chip = 11;
+    cfg.seed = 2017;
+    return sim::ChipPopulation(cfg);
+  }();
+  return pop;
+}
+
+/// Cached stable-CRP corpora per XOR width (building them is not what we
+/// want to time).
+const puf::AttackDataset& attack_corpus(std::size_t n_pufs, std::size_t train_size) {
+  static std::map<std::pair<std::size_t, std::size_t>, puf::AttackDataset> cache;
+  const auto key = std::make_pair(n_pufs, train_size);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Rng rng(42 + n_pufs);
+    puf::AttackDatasetConfig cfg;
+    cfg.n_pufs = n_pufs;
+    cfg.challenges = static_cast<std::size_t>(
+        static_cast<double>(train_size) / (0.9 * std::pow(0.78, double(n_pufs))) * 1.3);
+    cfg.trials = 5'000;
+    puf::AttackDataset full =
+        puf::build_stable_attack_dataset(population().chip(0), cfg, rng);
+    if (full.train.size() > train_size)
+      full.train = full.train.head_split(train_size).first;
+    it = cache.emplace(key, std::move(full)).first;
+  }
+  return it->second;
+}
+
+/// MLP attack training time; counters report ms-per-CRP (paper: 0.395).
+void BM_MlpAttackTraining(benchmark::State& state) {
+  const auto n_pufs = static_cast<std::size_t>(state.range(0));
+  const auto train_size = static_cast<std::size_t>(state.range(1));
+  const puf::AttackDataset& data = attack_corpus(n_pufs, train_size);
+  puf::MlpAttackConfig cfg;
+  cfg.lbfgs.max_iterations = 60;  // fixed budget so timings are comparable
+  double accuracy = 0.0;
+  for (auto _ : state) {
+    const puf::AttackResult res = puf::run_mlp_attack(data, cfg);
+    accuracy = res.test_accuracy;
+    benchmark::DoNotOptimize(accuracy);
+  }
+  // Inverted rate = seconds per training CRP (paper: 0.395 ms/CRP).
+  state.counters["sec_per_crp"] = benchmark::Counter(
+      static_cast<double>(data.train.size()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["train_crps"] = static_cast<double>(data.train.size());
+}
+BENCHMARK(BM_MlpAttackTraining)
+    ->Args({4, 2'000})
+    ->Args({4, 8'000})
+    ->Args({6, 2'000})
+    ->Args({6, 8'000})
+    ->Args({8, 2'000})
+    ->Unit(benchmark::kMillisecond);
+
+/// Linear-regression enrollment fit of one PUF (paper: 4.3 ms for 5,000).
+void BM_LinearRegressionEnrollmentFit(benchmark::State& state) {
+  const auto train_size = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  sim::ChipTester tester(sim::Environment::nominal(), 5'000, rng.fork());
+  const auto challenges = tester.random_challenges(population().chip(0), train_size);
+  const auto scan = tester.scan_individual(population().chip(0), challenges);
+  ml::Dataset data;
+  data.x = puf::feature_matrix(scan.challenges);
+  data.y = linalg::Vector(std::vector<double>(scan.soft[0].begin(), scan.soft[0].end()));
+  for (auto _ : state) {
+    ml::LinearRegression reg;
+    reg.fit(data);
+    benchmark::DoNotOptimize(reg.coefficients());
+  }
+}
+BENCHMARK(BM_LinearRegressionEnrollmentFit)
+    ->Arg(500)
+    ->Arg(2'000)
+    ->Arg(5'000)
+    ->Arg(10'000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Full enrollment (measure + fit + thresholds) of a 10-PUF chip.
+void BM_FullChipEnrollment(benchmark::State& state) {
+  puf::EnrollmentConfig cfg;
+  cfg.training_challenges = static_cast<std::size_t>(state.range(0));
+  cfg.trials = 5'000;
+  for (auto _ : state) {
+    Rng rng(11);
+    puf::ServerModel model = puf::Enroller(cfg).enroll(population().chip(0), rng);
+    benchmark::DoNotOptimize(model.puf_count());
+  }
+}
+BENCHMARK(BM_FullChipEnrollment)->Arg(1'000)->Arg(5'000)->Unit(benchmark::kMillisecond);
+
+/// Server-side challenge-selection throughput (Fig 7 select loop).
+void BM_ModelBasedChallengeSelection(benchmark::State& state) {
+  static puf::ServerModel model = [] {
+    Rng rng(13);
+    puf::EnrollmentConfig cfg;
+    cfg.training_challenges = 5'000;
+    cfg.trials = 5'000;
+    puf::ServerModel m = puf::Enroller(cfg).enroll(population().chip(0), rng);
+    m.set_betas(puf::BetaFactors{0.8, 1.2});
+    return m;
+  }();
+  const auto n_pufs = static_cast<std::size_t>(state.range(0));
+  puf::ModelBasedSelector selector(model, n_pufs);
+  Rng rng(17);
+  for (auto _ : state) {
+    const auto res = selector.select(16, rng);
+    benchmark::DoNotOptimize(res.challenges.size());
+  }
+  state.SetLabel("16 stable challenges per iteration");
+}
+BENCHMARK(BM_ModelBasedChallengeSelection)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// End-to-end walkthrough of the paper's model-assisted XOR PUF lifecycle:
+// enrollment through fused taps, linear-regression model extraction,
+// threshold derivation + beta tightening, fuse burn, and finally
+// zero-Hamming-distance authentication across voltage/temperature corners.
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "puf/authentication.hpp"
+#include "puf/threshold_adjust.hpp"
+#include "sim/population.hpp"
+
+int main() {
+  using namespace xpuf;
+  const std::size_t n_pufs = 10;
+
+  sim::PopulationConfig config;
+  config.n_chips = 2;  // chip 0 is genuine, chip 1 plays the counterfeit
+  config.n_pufs_per_chip = n_pufs;
+  config.seed = 2017;
+  sim::ChipPopulation lot(config);
+  sim::XorPufChip& chip = lot.chip(0);
+  Rng rng = lot.measurement_rng();
+
+  std::printf("=== Enrollment (paper Fig 6) ===\n");
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 5'000;
+  ecfg.trials = 10'000;
+  puf::ServerModel model = puf::Enroller(ecfg).enroll(chip, rng);
+  std::printf("fitted %zu per-PUF linear models from soft responses "
+              "(r^2 of PUF 0: %.3f, fit time %.2f ms)\n",
+              model.puf_count(), model.puf(0).train_r_squared,
+              model.puf(0).fit_time_ms);
+  std::printf("raw thresholds of PUF 0: Thr(0)=%.3f Thr(1)=%.3f\n",
+              model.puf(0).thresholds.thr0, model.puf(0).thresholds.thr1);
+
+  std::printf("\n=== Threshold adjustment over the V/T grid (paper Sec 5) ===\n");
+  const auto eval_challenges = puf::random_challenges(chip.stages(), 2'000, rng);
+  std::vector<puf::EvaluationBlock> blocks;
+  for (const auto& env : sim::paper_corner_grid())
+    blocks.push_back(puf::measure_evaluation_block(chip, eval_challenges, env, 10'000, rng));
+  const puf::BetaSearchResult betas = puf::find_betas(model, blocks);
+  model.set_betas(betas.betas);
+  std::printf("beta0 = %.2f, beta1 = %.2f (violations at 1.00/1.00: %zu -> %zu)\n",
+              betas.betas.beta0, betas.betas.beta1, betas.violations_before,
+              betas.violations_after);
+
+  std::printf("\n=== Deployment: burn the enrollment fuses ===\n");
+  chip.blow_fuses();
+  std::printf("chip deployed; individual PUF taps now read as: ");
+  try {
+    chip.individual_response(0, eval_challenges[0], sim::Environment::nominal(), rng);
+    std::printf("accessible (BUG!)\n");
+  } catch (const xpuf::AccessError& e) {
+    std::printf("AccessError (\"%s\") — as intended\n", e.what());
+  }
+
+  std::printf("\n=== Authentication (paper Fig 7), zero Hamming distance ===\n");
+  puf::AuthenticationServer server(model, n_pufs, {.challenge_count = 64});
+  for (const auto& env : sim::paper_corner_grid()) {
+    const auto genuine = server.authenticate(chip, env, rng);
+    const auto fake = server.authenticate(lot.chip(1), env, rng);
+    std::printf("  %-10s genuine: %s (%zu/%zu mismatches)   counterfeit: %s "
+                "(%zu mismatches)\n",
+                env.label().c_str(), genuine.approved ? "APPROVED" : "DENIED ",
+                genuine.mismatches, genuine.challenges_used,
+                fake.approved ? "APPROVED (BUG!)" : "DENIED",
+                fake.mismatches);
+  }
+
+  std::printf("\n=== Why selection matters: random challenges, same chip ===\n");
+  std::size_t failures = 0;
+  const int rounds = 10;
+  for (int i = 0; i < rounds; ++i)
+    if (!server.authenticate(chip, {0.8, 60.0}, rng, /*model_selected=*/false).approved)
+      ++failures;
+  std::printf("random-challenge zero-HD authentication at 0.8V/60C: %d/%d rounds "
+              "FAILED on the genuine chip\n",
+              static_cast<int>(failures), rounds);
+  std::printf("model-selected challenges keep the genuine chip at zero mismatches — "
+              "the paper's central claim.\n");
+  return 0;
+}

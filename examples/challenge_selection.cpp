@@ -1,0 +1,66 @@
+// Challenge-selection strategies side by side: the paper's model-based
+// selector (works on never-measured challenges, no device access after
+// enrollment) vs the measurement-based prior art [1] (needs per-challenge
+// testing through the fused taps).
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "puf/selection.hpp"
+#include "puf/threshold_adjust.hpp"
+#include "sim/population.hpp"
+
+int main() {
+  using namespace xpuf;
+  const std::size_t n_pufs = 10;
+
+  sim::PopulationConfig config;
+  config.n_chips = 1;
+  config.n_pufs_per_chip = n_pufs;
+  config.seed = 5;
+  sim::ChipPopulation lot(config);
+  sim::XorPufChip& chip = lot.chip(0);
+  Rng rng = lot.measurement_rng();
+
+  // Enroll + nominal beta adjustment.
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 5'000;
+  ecfg.trials = 10'000;
+  puf::ServerModel model = puf::Enroller(ecfg).enroll(chip, rng);
+  const auto eval = puf::random_challenges(chip.stages(), 3'000, rng);
+  const auto block = puf::measure_evaluation_block(chip, eval, sim::Environment::nominal(),
+                                                   10'000, rng);
+  model.set_betas(puf::find_betas(model, {block}).betas);
+
+  const std::size_t quota = 128;
+
+  std::printf("goal: %zu challenges stable on ALL %zu PUFs (XOR width %zu)\n\n", quota,
+              n_pufs, n_pufs);
+
+  {
+    Timer timer;
+    puf::ModelBasedSelector selector(model, n_pufs);
+    const puf::SelectionResult res = selector.select(quota, rng);
+    std::printf("model-based selector (paper):\n");
+    std::printf("  candidates tried: %zu, yield %.3f%%, wall time %.1f ms\n",
+                res.candidates_tried, 100.0 * res.yield(), timer.millis());
+    std::printf("  device measurements needed: 0 (pure server-side prediction)\n\n");
+  }
+  {
+    Timer timer;
+    puf::MeasurementBasedSelector selector(chip, sim::Environment::nominal(), 10'000,
+                                           n_pufs);
+    const puf::SelectionResult res = selector.select(quota, rng);
+    std::printf("measurement-based selector (prior art [1]):\n");
+    std::printf("  candidates tried: %zu, yield %.3f%%, wall time %.1f ms\n",
+                res.candidates_tried, 100.0 * res.yield(), timer.millis());
+    std::printf("  device measurements needed: ~%zu challenge x 10,000-evaluation "
+                "counter runs\n\n",
+                res.candidates_tried);
+  }
+
+  std::printf("The model-based selector trades a small one-time enrollment cost "
+              "(5,000 measured CRPs) for unlimited server-side selection afterwards — "
+              "and its beta margin also covers V/T corners the measurement-based "
+              "selector never saw (run vt_stability to see that part).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reliability-attack demo (Becker [9]): why the deployed XOR output being
+// freely queryable is dangerous, and how the paper's stable-only protocol
+// closes the side channel.
+#include <cmath>
+#include <cstdio>
+#include <span>
+
+#include "common/math.hpp"
+#include "puf/attack.hpp"
+#include "puf/attack_reliability.hpp"
+#include "puf/selection.hpp"
+#include "sim/population.hpp"
+
+int main() {
+  using namespace xpuf;
+  const std::size_t n = 2;
+
+  sim::PopulationConfig config;
+  config.n_chips = 1;
+  config.n_pufs_per_chip = n;
+  config.seed = 404;
+  sim::ChipPopulation lot(config);
+  auto& chip = lot.chip(0);
+  Rng rng(5);
+
+  std::printf("attacker queries each of 5,000 random challenges 1,000 times on the\n"
+              "deployed %zu-XOR chip (fuses blown — only the XOR output is visible)\n\n",
+              n);
+  const auto obs =
+      puf::collect_xor_reliability_crps(chip, 5'000, 1'000, sim::Environment::nominal(), rng);
+  double unstable = 0;
+  for (const auto& o : obs) unstable += o.reliability() < 1.0;
+  std::printf("observed reliability signal: %.1f%% of challenges show flips\n\n",
+              100.0 * unstable / static_cast<double>(obs.size()));
+
+  puf::AttackDatasetConfig dcfg;
+  dcfg.n_pufs = n;
+  dcfg.challenges = 4'000;
+  dcfg.trials = 1'000;
+  const puf::AttackDataset holdout = puf::build_stable_attack_dataset(chip, dcfg, rng);
+
+  puf::ReliabilityAttackConfig acfg;
+  acfg.n_pufs = n;
+  const puf::ReliabilityAttackResult res =
+      puf::run_reliability_attack(obs, holdout.train, acfg);
+
+  std::printf("CMA-ES reliability attack: recovered %zu/%zu constituents "
+              "(%zu slots, %zu evaluations)\n",
+              res.recovered.size(), n, res.restarts_used, res.evaluations);
+  for (std::size_t i = 0; i < res.recovered.size(); ++i) {
+    double best = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      const linalg::Vector wt =
+          chip.device_for_analysis(p).reduced_weights(sim::Environment::nominal());
+      best = std::max(best, std::fabs(pearson_correlation(
+                                std::span<const double>(res.recovered[i].data(), wt.size()),
+                                std::span<const double>(wt.data(), wt.size()))));
+    }
+    std::printf("  recovered[%zu]: fitness %.3f, best |corr| to true silicon %.3f\n", i,
+                res.fitness[i], best);
+  }
+  std::printf("XOR prediction accuracy of the stolen model: %.1f%%\n\n",
+              100.0 * puf::reliability_attack_accuracy(res, holdout.test));
+
+  std::printf("the defense built into the paper's protocol: only 100%%-stable CRPs "
+              "are ever exchanged, so an eavesdropper's transcript has reliability "
+              "== 1 everywhere — zero signal for this attack (see "
+              "bench_ext2_reliability_attack for the quantified contrast).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "analysis/experiment.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xpuf::analysis {
+
+SoftResponseStudy study_soft_response(const sim::XorPufChip& chip, std::size_t puf_index,
+                                      std::size_t n_challenges, std::uint64_t trials,
+                                      const sim::Environment& env, Rng& rng) {
+  XPUF_REQUIRE(n_challenges > 0, "soft-response study needs challenges");
+  SoftResponseStudy study;
+  study.challenges = n_challenges;
+  std::size_t stable0 = 0, stable1 = 0;
+  for (std::size_t i = 0; i < n_challenges; ++i) {
+    const auto c = sim::random_challenge(chip.stages(), rng);
+    const sim::SoftMeasurement m = chip.measure_soft_response(puf_index, c, env, trials, rng);
+    const double soft = m.soft_response();
+    study.histogram.add(soft);
+    if (m.ones == 0) ++stable0;
+    if (m.ones == m.trials) ++stable1;
+  }
+  study.pr_stable0 = static_cast<double>(stable0) / static_cast<double>(n_challenges);
+  study.pr_stable1 = static_cast<double>(stable1) / static_cast<double>(n_challenges);
+  return study;
+}
+
+std::vector<double> measured_stable_vs_n(const sim::XorPufChip& chip, std::size_t max_n,
+                                         std::size_t n_challenges, std::uint64_t trials,
+                                         const sim::Environment& env, Rng& rng) {
+  XPUF_REQUIRE(max_n >= 1 && max_n <= chip.puf_count(), "max_n out of range");
+  XPUF_REQUIRE(n_challenges > 0, "stable-vs-n study needs challenges");
+  std::vector<std::size_t> stable_counts(max_n, 0);
+  for (std::size_t i = 0; i < n_challenges; ++i) {
+    const auto c = sim::random_challenge(chip.stages(), rng);
+    // Prefix-AND over PUFs: once one PUF is unstable, all larger n fail too.
+    for (std::size_t p = 0; p < max_n; ++p) {
+      const sim::SoftMeasurement m = chip.measure_soft_response(p, c, env, trials, rng);
+      if (!m.fully_stable()) break;
+      ++stable_counts[p];
+    }
+  }
+  std::vector<double> fractions(max_n);
+  for (std::size_t p = 0; p < max_n; ++p)
+    fractions[p] =
+        static_cast<double>(stable_counts[p]) / static_cast<double>(n_challenges);
+  return fractions;
+}
+
+std::vector<double> predicted_stable_vs_n(const puf::ServerModel& model,
+                                          std::size_t max_n, std::size_t n_challenges,
+                                          Rng& rng) {
+  XPUF_REQUIRE(max_n >= 1 && max_n <= model.puf_count(), "max_n out of range");
+  XPUF_REQUIRE(n_challenges > 0, "stable-vs-n study needs challenges");
+  std::vector<std::size_t> stable_counts(max_n, 0);
+  for (std::size_t i = 0; i < n_challenges; ++i) {
+    const auto c = sim::random_challenge(model.stages(), rng);
+    for (std::size_t p = 0; p < max_n; ++p) {
+      if (model.classify(p, c) == puf::StableClass::kUnstable) break;
+      ++stable_counts[p];
+    }
+  }
+  std::vector<double> fractions(max_n);
+  for (std::size_t p = 0; p < max_n; ++p)
+    fractions[p] =
+        static_cast<double>(stable_counts[p]) / static_cast<double>(n_challenges);
+  return fractions;
+}
+
+double fit_exponential_base(const std::vector<double>& y_per_n) {
+  // Least squares on log y_n = n log b (no intercept):
+  // log b = sum(n * log y_n) / sum(n^2).
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < y_per_n.size(); ++i) {
+    if (y_per_n[i] <= 0.0) continue;
+    const double n = static_cast<double>(i + 1);
+    num += n * std::log(y_per_n[i]);
+    den += n * n;
+  }
+  if (den == 0.0) return 0.0;
+  return std::exp(num / den);
+}
+
+}  // namespace xpuf::analysis

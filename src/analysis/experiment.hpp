@@ -1,0 +1,45 @@
+// Shared experiment runners behind the reproduction benches. Each function
+// computes one curve/statistic a paper figure reports; the bench binaries
+// format and print them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/histogram.hpp"
+#include "puf/enrollment.hpp"
+#include "sim/chip.hpp"
+
+namespace xpuf::analysis {
+
+/// Fig 2: soft-response distribution of one arbiter PUF.
+struct SoftResponseStudy {
+  Histogram histogram{0.0, 1.0, 100};  ///< the paper's 0.01 bin width
+  double pr_stable0 = 0.0;  ///< fraction of soft responses exactly 0.00
+  double pr_stable1 = 0.0;  ///< fraction exactly 1.00
+  std::size_t challenges = 0;
+};
+
+SoftResponseStudy study_soft_response(const sim::XorPufChip& chip, std::size_t puf_index,
+                                      std::size_t n_challenges, std::uint64_t trials,
+                                      const sim::Environment& env, Rng& rng);
+
+/// Figs 3/12 (measured curves): fraction of challenges that are 100% stable
+/// on ALL of the first n PUFs, for n = 1..max_n, from one challenge sweep.
+std::vector<double> measured_stable_vs_n(const sim::XorPufChip& chip, std::size_t max_n,
+                                         std::size_t n_challenges, std::uint64_t trials,
+                                         const sim::Environment& env, Rng& rng);
+
+/// Fig 12 (predicted curves): fraction of random challenges the enrolled
+/// model classifies stable on all of the first n PUFs, n = 1..max_n, under
+/// the model's current beta factors.
+std::vector<double> predicted_stable_vs_n(const puf::ServerModel& model,
+                                          std::size_t max_n, std::size_t n_challenges,
+                                          Rng& rng);
+
+/// Least-squares fit of log(y) = n log(base): the exponential-decay base the
+/// paper annotates on Figs 3/12 (e.g. 0.800^n). Zero/negative y values are
+/// skipped.
+double fit_exponential_base(const std::vector<double>& y_per_n);
+
+}  // namespace xpuf::analysis

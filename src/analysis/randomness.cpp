@@ -1,0 +1,57 @@
+#include "analysis/randomness.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace xpuf::analysis {
+
+bool RandomnessReport::passes(double alpha) const {
+  return monobit_p >= alpha && runs_p >= alpha &&
+         std::fabs(serial_correlation) < 0.1;
+}
+
+RandomnessReport assess_randomness(const std::vector<bool>& bits) {
+  XPUF_REQUIRE(bits.size() >= 100, "randomness assessment needs >= 100 bits");
+  RandomnessReport report;
+  report.bits = bits.size();
+  const double n = static_cast<double>(bits.size());
+
+  // Monobit: S = sum(+/-1); p = erfc(|S| / sqrt(2 n)).
+  double s = 0.0;
+  std::size_t ones = 0;
+  for (bool b : bits) {
+    s += b ? 1.0 : -1.0;
+    ones += b;
+  }
+  report.ones_fraction = static_cast<double>(ones) / n;
+  report.monobit_p = std::erfc(std::fabs(s) / std::sqrt(2.0 * n));
+
+  // Runs test (conditional on the observed bias pi).
+  const double pi = report.ones_fraction;
+  std::size_t runs = 1;
+  for (std::size_t i = 1; i < bits.size(); ++i)
+    if (bits[i] != bits[i - 1]) ++runs;
+  const double tau = 2.0 * pi * (1.0 - pi);
+  if (tau <= 0.0) {
+    report.runs_p = 0.0;  // constant stream: maximally non-random
+  } else {
+    // SP 800-22 runs statistic: p = erfc(|V - 2 n pi (1-pi)| /
+    // (2 sqrt(2n) pi (1-pi))).
+    const double expected = tau * n;
+    const double z = std::fabs(static_cast<double>(runs) - expected) /
+                     (2.0 * std::sqrt(2.0 * n) * pi * (1.0 - pi));
+    report.runs_p = std::erfc(z);
+  }
+
+  // Lag-1 serial correlation of the +/-1 stream.
+  std::vector<double> x(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) x[i] = bits[i] ? 1.0 : -1.0;
+  std::vector<double> a(x.begin(), x.end() - 1);
+  std::vector<double> b(x.begin() + 1, x.end());
+  report.serial_correlation = xpuf::pearson_correlation(a, b);
+  return report;
+}
+
+}  // namespace xpuf::analysis

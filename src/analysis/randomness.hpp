@@ -1,0 +1,29 @@
+// Response-stream randomness assessment (NIST SP 800-22-style quick tests).
+//
+// Before a PUF's responses feed authentication databases or key derivation,
+// their statistical quality matters: bias, serial correlation, and run
+// structure. These are the three cheap screeners most PUF characterization
+// papers report alongside uniqueness/reliability.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xpuf::analysis {
+
+struct RandomnessReport {
+  std::size_t bits = 0;
+  double monobit_p = 0.0;       ///< frequency (monobit) test p-value
+  double runs_p = 0.0;          ///< Wald-Wolfowitz runs test p-value
+  double serial_correlation = 0.0;  ///< lag-1 autocorrelation in [-1, 1]
+  double ones_fraction = 0.0;
+
+  /// Passes all screeners at significance alpha (and |autocorr| < 0.1).
+  bool passes(double alpha = 0.01) const;
+};
+
+/// Runs the screeners on a response bit stream (0/1 per entry).
+/// Requires at least 100 bits for the asymptotics to be meaningful.
+RandomnessReport assess_randomness(const std::vector<bool>& bits);
+
+}  // namespace xpuf::analysis

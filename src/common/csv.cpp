@@ -1,0 +1,129 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace xpuf {
+
+namespace {
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& cell) {
+  if (!needs_quoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw ParseError("cannot open CSV for writing: " + path);
+  file_ = f;
+  write_cells(header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<FILE*>(file_));
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  FILE* f = static_cast<FILE*>(file_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string q = quote(cells[i]);
+    if (i > 0) std::fputc(',', f);
+    std::fwrite(q.data(), 1, q.size(), f);
+  }
+  std::fputc('\n', f);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) { write_cells(cells); }
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    out.push_back(os.str());
+  }
+  write_cells(out);
+}
+
+std::size_t CsvData::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i)
+    if (header[i] == name) return i;
+  throw ParseError("CSV column not found: " + name);
+}
+
+CsvData read_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open CSV for reading: " + path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  CsvData data;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+  auto end_cell = [&] {
+    row.push_back(cell);
+    cell.clear();
+  };
+  auto end_row = [&] {
+    end_cell();
+    if (data.header.empty()) data.header = row;
+    else data.rows.push_back(row);
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_quotes = true; row_has_content = true; break;
+      case ',': end_cell(); row_has_content = true; break;
+      case '\r': break;
+      case '\n':
+        if (row_has_content || !cell.empty() || !row.empty()) end_row();
+        break;
+      default: cell += c; row_has_content = true; break;
+    }
+  }
+  if (row_has_content || !cell.empty() || !row.empty()) end_row();
+  if (in_quotes) throw ParseError("unterminated quoted cell in " + path);
+  return data;
+}
+
+std::string ensure_directory(const std::string& path) {
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+}  // namespace xpuf

@@ -1,0 +1,51 @@
+// Minimal CSV writing/reading for benchmark artifacts.
+//
+// Benches write their series to bench_out/*.csv so the paper's plots can be
+// regenerated with any plotting tool; the reader exists so tests can verify
+// round trips and examples can reload recorded sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xpuf {
+
+/// Streams rows of string/double cells to a CSV file. Cells containing
+/// commas, quotes, or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file and writes the header row. Parent
+  /// directories must exist; create_directories() below helps benches.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  void* file_;  // FILE*, kept opaque to avoid <cstdio> in the header
+  void write_cells(const std::vector<std::string>& cells);
+};
+
+/// Parsed CSV contents: a header plus data rows of raw string cells.
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a named column; throws ParseError if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Reads an entire CSV file (RFC 4180 quoting).
+CsvData read_csv(const std::string& path);
+
+/// Creates the directory (and parents) if missing. Returns the path.
+std::string ensure_directory(const std::string& path);
+
+}  // namespace xpuf

@@ -1,0 +1,43 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace xpuf {
+
+namespace {
+LogLevel g_level = [] {
+  const char* env = std::getenv("XPUF_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string v = env;
+  if (v == "error") return LogLevel::kError;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}();
+
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[xpuf %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace xpuf

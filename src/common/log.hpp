@@ -1,0 +1,36 @@
+// Leveled logging to stderr. Benches use INFO for progress on long sweeps;
+// the level is controlled by XPUF_LOG (error|warn|info|debug), default warn,
+// so test and bench stdout stays clean for the harness.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace xpuf {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current threshold (resolved once from XPUF_LOG).
+LogLevel log_level();
+
+/// Override the threshold programmatically (tests).
+void set_log_level(LogLevel level);
+
+/// Emits a line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogStream {
+  LogLevel level;
+  std::ostringstream os;
+  ~LogStream() { log_line(level, os.str()); }
+};
+}  // namespace detail
+
+}  // namespace xpuf
+
+#define XPUF_LOG(level_enum)                                   \
+  ::xpuf::detail::LogStream { ::xpuf::LogLevel::level_enum }.os
+#define XPUF_INFO() XPUF_LOG(kInfo)
+#define XPUF_WARN() XPUF_LOG(kWarn)
+#define XPUF_DEBUG() XPUF_LOG(kDebug)

@@ -1,0 +1,130 @@
+#include "common/math.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace xpuf {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+}  // namespace
+
+double normal_pdf(double x) { return kInvSqrt2Pi * std::exp(-0.5 * x * x); }
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x * kInvSqrt2); }
+
+double log_normal_cdf(double x) {
+  if (x > -8.0) return std::log(normal_cdf(x));
+  // Asymptotic expansion of the Mills ratio for the far lower tail:
+  // Phi(x) ~ pdf(x)/|x| * (1 - 1/x^2 + 3/x^4 - 15/x^6).
+  const double x2 = x * x;
+  const double series = 1.0 - 1.0 / x2 + 3.0 / (x2 * x2) - 15.0 / (x2 * x2 * x2);
+  return -0.5 * x2 - std::log(-x) - 0.5 * std::log(2.0 * M_PI) + std::log(series);
+}
+
+double normal_quantile(double p) {
+  XPUF_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile needs p in (0, 1)");
+  // Acklam's piecewise rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step drives relative error below 1e-13.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double unanimity_probability(std::uint64_t n, double p) {
+  XPUF_REQUIRE(p >= 0.0 && p <= 1.0, "unanimity_probability needs p in [0, 1]");
+  if (n == 0) return 1.0;
+  const double nd = static_cast<double>(n);
+  // (1-p)^n + p^n via logs to keep the far tails meaningful.
+  double all_zero = (p >= 1.0) ? 0.0 : std::exp(nd * std::log1p(-p));
+  double all_one = (p <= 0.0) ? 0.0 : std::exp(nd * std::log(p));
+  return all_zero + all_one;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys) {
+  XPUF_REQUIRE(xs.size() == ys.size(), "correlation needs equal-length spans");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double clamp(double x, double lo, double hi) {
+  XPUF_REQUIRE(lo <= hi, "clamp needs lo <= hi");
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace xpuf

@@ -1,0 +1,55 @@
+// Scalar special functions used throughout the library.
+//
+// The silicon noise model maps arbiter delay differences to flip
+// probabilities through the standard normal CDF; enrollment and the
+// stability analysis need its inverse. Both are implemented to near
+// double precision so far-tail stability probabilities (1e-12 and below)
+// are meaningful.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace xpuf {
+
+/// Standard normal probability density.
+double normal_pdf(double x);
+
+/// Standard normal CDF Phi(x), accurate in both tails (built on erfc).
+double normal_cdf(double x);
+
+/// log(Phi(x)); stable for very negative x where Phi underflows.
+double log_normal_cdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation refined by
+/// one Halley step; relative error < 1e-13 over (0, 1)).
+double normal_quantile(double p);
+
+/// Numerically stable logistic function 1 / (1 + exp(-x)).
+double sigmoid(double x);
+
+/// log(1 + exp(x)) without overflow.
+double softplus(double x);
+
+/// Probability that a Binomial(n, p) sample equals 0 or n, i.e. that n
+/// repeated evaluations of a response with one-probability p are unanimous.
+/// This is the exact per-challenge "100% stable" probability.
+double unanimity_probability(std::uint64_t n, double p);
+
+/// Mean of a span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length spans; 0 if either is constant.
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Clamp helper mirroring std::clamp but tolerant of lo == hi.
+double clamp(double x, double lo, double hi);
+
+}  // namespace xpuf

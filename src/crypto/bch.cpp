@@ -1,0 +1,156 @@
+#include "crypto/bch.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace xpuf::crypto {
+
+namespace {
+
+/// Minimal polynomial of alpha^i over GF(2): product of (x - alpha^j) over
+/// the cyclotomic coset {i, 2i, 4i, ...} mod (2^m - 1). Coefficients land in
+/// GF(2) by Galois theory; asserted below.
+GFPoly minimal_polynomial(const GF2m& field, std::uint32_t i) {
+  std::set<std::uint32_t> coset;
+  std::uint32_t j = i % field.order();
+  while (coset.insert(j).second) j = static_cast<std::uint32_t>((2ull * j) % field.order());
+  GFPoly poly = GFPoly::one();
+  for (std::uint32_t e : coset) {
+    // (x + alpha^e) — addition is subtraction in characteristic 2.
+    poly = poly.times(GFPoly({field.alpha_pow(e), 1u}), field);
+  }
+  for (std::uint32_t c : poly.coefficients())
+    XPUF_REQUIRE(c <= 1, "minimal polynomial left GF(2) — field tables corrupt");
+  return poly;
+}
+
+}  // namespace
+
+BchCode::BchCode(unsigned m, unsigned t) : field_(m), t_(t) {
+  XPUF_REQUIRE(t >= 1, "BCH needs t >= 1");
+  n_ = field_.order();
+  // g(x) = lcm of minimal polynomials of alpha^1 .. alpha^2t; dedupe cosets
+  // by their leaders.
+  std::set<std::uint32_t> leaders_done;
+  generator_ = GFPoly::one();
+  for (std::uint32_t i = 1; i <= 2 * t; ++i) {
+    // Coset leader: smallest element of i's cyclotomic coset.
+    std::uint32_t leader = i % field_.order();
+    std::uint32_t j = leader;
+    do {
+      j = static_cast<std::uint32_t>((2ull * j) % field_.order());
+      leader = std::min(leader, j);
+    } while (j != i % field_.order());
+    if (!leaders_done.insert(leader).second) continue;
+    generator_ = generator_.times(minimal_polynomial(field_, i), field_);
+  }
+  const int deg = generator_.degree();
+  XPUF_REQUIRE(deg > 0 && static_cast<std::size_t>(deg) < n_,
+               "BCH(m, t) has no message bits left — t too large for this m");
+  k_ = n_ - static_cast<std::size_t>(deg);
+}
+
+Bits BchCode::encode(const Bits& message) const {
+  XPUF_REQUIRE(message.size() == k_, "BCH encode: message length mismatch");
+  // c(x) = m(x) x^{n-k} + (m(x) x^{n-k} mod g(x)); systematic.
+  const std::size_t parity = n_ - k_;
+  std::vector<std::uint32_t> shifted(n_, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    XPUF_REQUIRE(message[i] <= 1, "BCH encode: message bits must be 0/1");
+    shifted[parity + i] = message[i];
+  }
+  const GFPoly remainder = GFPoly(shifted).mod(generator_, field_);
+  Bits codeword(n_, 0);
+  for (std::size_t i = 0; i < k_; ++i) codeword[parity + i] = message[i];
+  for (std::size_t i = 0; i < parity; ++i)
+    codeword[i] = static_cast<std::uint8_t>(remainder.coefficient(i));
+  return codeword;
+}
+
+BchCode::DecodeResult BchCode::decode(const Bits& received) const {
+  XPUF_REQUIRE(received.size() == n_, "BCH decode: word length mismatch");
+  DecodeResult result;
+
+  // Syndromes S_j = r(alpha^j), j = 1..2t.
+  std::vector<std::uint32_t> syndrome(2 * t_ + 1, 0);
+  bool all_zero = true;
+  for (unsigned j = 1; j <= 2 * t_; ++j) {
+    std::uint32_t s = 0;
+    for (std::size_t i = 0; i < n_; ++i)
+      if (received[i]) s ^= field_.alpha_pow(static_cast<std::int64_t>(i) * j);
+    syndrome[j] = s;
+    if (s != 0) all_zero = false;
+  }
+
+  auto extract = [&](const Bits& codeword) {
+    result.codeword = codeword;
+    result.message.assign(codeword.begin() + static_cast<std::ptrdiff_t>(n_ - k_),
+                          codeword.end());
+    result.ok = true;
+  };
+
+  if (all_zero) {
+    extract(received);
+    return result;
+  }
+
+  // Berlekamp-Massey: find the error-locator sigma(x).
+  std::vector<std::uint32_t> sigma{1};  // current locator
+  std::vector<std::uint32_t> b{1};      // previous locator copy
+  std::uint32_t b_disc = 1;             // discrepancy at last length change
+  unsigned l = 0, shift = 1;
+  for (unsigned j = 1; j <= 2 * t_; ++j) {
+    // Discrepancy d = S_j + sum_{i=1..l} sigma_i S_{j-i}.
+    std::uint32_t d = syndrome[j];
+    for (unsigned i = 1; i <= l && i < sigma.size(); ++i)
+      if (j > i) d ^= field_.mul(sigma[i], syndrome[j - i]);
+    if (d == 0) {
+      ++shift;
+      continue;
+    }
+    // sigma' = sigma - (d / b_disc) x^shift b(x).
+    std::vector<std::uint32_t> next = sigma;
+    const std::uint32_t scale = field_.div(d, b_disc);
+    if (next.size() < b.size() + shift) next.resize(b.size() + shift, 0);
+    for (std::size_t i = 0; i < b.size(); ++i)
+      next[i + shift] ^= field_.mul(scale, b[i]);
+    if (2 * l <= j - 1) {
+      b = sigma;
+      b_disc = d;
+      l = j - l;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    sigma = std::move(next);
+  }
+  while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+  const std::size_t nu = sigma.size() - 1;  // number of located errors
+  if (nu > t_) return result;               // beyond design capability
+
+  // Chien search: error at position i iff sigma(alpha^{-i}) == 0.
+  const GFPoly locator(sigma);
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint32_t x = field_.alpha_pow(-static_cast<std::int64_t>(i));
+    if (locator.evaluate(x, field_) == 0) positions.push_back(i);
+  }
+  if (positions.size() != nu) return result;  // locator does not split: fail
+
+  Bits corrected = received;
+  for (std::size_t p : positions) corrected[p] ^= 1;  // binary code: flip
+
+  // Consistency re-check: corrected word must have zero syndromes.
+  for (unsigned j = 1; j <= 2 * t_; ++j) {
+    std::uint32_t s = 0;
+    for (std::size_t i = 0; i < n_; ++i)
+      if (corrected[i]) s ^= field_.alpha_pow(static_cast<std::int64_t>(i) * j);
+    if (s != 0) return result;
+  }
+  result.errors_corrected = positions.size();
+  extract(corrected);
+  return result;
+}
+
+}  // namespace xpuf::crypto

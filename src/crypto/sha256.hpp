@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4) — the entropy-extraction hash of the PUF key
+// generator. Self-contained implementation validated against the NIST
+// short-message test vectors in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xpuf::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// One-shot SHA-256 of a byte buffer.
+Digest sha256(const std::uint8_t* data, std::size_t length);
+Digest sha256(const std::vector<std::uint8_t>& data);
+Digest sha256(const std::string& data);
+
+/// Lowercase hex rendering of a digest.
+std::string to_hex(const Digest& digest);
+
+/// Incremental interface (used when hashing bit-packed PUF material).
+class Sha256 {
+ public:
+  Sha256();
+  void update(const std::uint8_t* data, std::size_t length);
+  Digest finish();
+
+ private:
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+  void process_block(const std::uint8_t* block);
+};
+
+}  // namespace xpuf::crypto

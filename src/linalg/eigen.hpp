@@ -1,0 +1,28 @@
+// Symmetric eigendecomposition (cyclic Jacobi) — needed by CMA-ES to sample
+// from N(m, sigma^2 C) and generally useful for covariance analysis.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace xpuf::linalg {
+
+struct EigenDecomposition {
+  /// Eigenvalues in ascending order.
+  Vector values;
+  /// Column k of `vectors` is the unit eigenvector for values[k].
+  Matrix vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+/// The input is symmetrized ((A + A^T)/2) to absorb round-off asymmetry;
+/// genuinely non-symmetric input is a precondition violation.
+/// Throws NumericalError if the sweep limit is exceeded (pathological input).
+EigenDecomposition eigen_symmetric(const Matrix& a, std::size_t max_sweeps = 64);
+
+/// Square root of a symmetric positive semi-definite matrix:
+/// B = V diag(sqrt(max(lambda, 0))) V^T. Clamps tiny negative eigenvalues
+/// (round-off) to zero.
+Matrix sqrt_spsd(const Matrix& a);
+
+}  // namespace xpuf::linalg

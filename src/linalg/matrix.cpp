@@ -1,0 +1,118 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xpuf::linalg {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix{};
+  const std::size_t cols = rows.front().size();
+  Matrix m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    XPUF_REQUIRE(rows[r].size() == cols, "ragged rows in Matrix::from_rows");
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  XPUF_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix += shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  XPUF_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix -= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  XPUF_REQUIRE(a.cols() == x.size(), "matvec shape mismatch");
+  Vector y(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, const Vector& x) {
+  XPUF_REQUIRE(a.rows() == x.size(), "matvec_transposed shape mismatch");
+  Vector y(a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row(r);
+    const double xr = x[r];
+    for (std::size_t c = 0; c < a.cols(); ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  XPUF_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row(r);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < a.cols(); ++j) g(i, j) += ri * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < a.cols(); ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+double norm_frobenius(const Matrix& a) {
+  double s = 0.0;
+  for (double x : a.raw()) s += x * x;
+  return std::sqrt(s);
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  XPUF_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    m = std::max(m, std::fabs(a.raw()[i] - b.raw()[i]));
+  return m;
+}
+
+}  // namespace xpuf::linalg

@@ -1,0 +1,74 @@
+// Dense row-major matrix with the BLAS-2/3 kernels the solvers need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace xpuf::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data; all rows must have equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row r (contiguous, cols() doubles).
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  const std::vector<double>& raw() const { return data_; }
+
+  Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+  bool operator==(const Matrix& rhs) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A x.
+Vector matvec(const Matrix& a, const Vector& x);
+
+/// y = A^T x.
+Vector matvec_transposed(const Matrix& a, const Vector& x);
+
+/// C = A B (naive triple loop with row-major-friendly ordering).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Gram matrix A^T A (symmetric, computed in the upper triangle and
+/// mirrored) — the normal-equations kernel for least squares.
+Matrix gram(const Matrix& a);
+
+/// Frobenius norm.
+double norm_frobenius(const Matrix& a);
+
+/// Max |a_ij - b_ij|; matrices must have equal shape.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace xpuf::linalg

@@ -1,0 +1,34 @@
+#include "ml/adam.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xpuf::ml {
+
+Adam::Adam(std::size_t n_params, const AdamOptions& options)
+    : options_(options), m_(n_params), v_(n_params) {
+  XPUF_REQUIRE(n_params > 0, "Adam needs at least one parameter");
+  XPUF_REQUIRE(options.learning_rate > 0.0, "Adam learning rate must be positive");
+}
+
+void Adam::step(linalg::Vector& params, const linalg::Vector& gradient) {
+  XPUF_REQUIRE(params.size() == m_.size(), "Adam parameter-size mismatch");
+  XPUF_REQUIRE(gradient.size() == m_.size(), "Adam gradient-size mismatch");
+  ++t_;
+  const double b1 = options_.beta1, b2 = options_.beta2;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double gi = gradient[i];
+    m_[i] = b1 * m_[i] + (1.0 - b1) * gi;
+    v_[i] = b2 * v_[i] + (1.0 - b2) * gi * gi;
+    const double m_hat = m_[i] / bc1;
+    const double v_hat = v_[i] / bc2;
+    params[i] -= options_.learning_rate *
+                 (m_hat / (std::sqrt(v_hat) + options_.epsilon) +
+                  options_.weight_decay * params[i]);
+  }
+}
+
+}  // namespace xpuf::ml

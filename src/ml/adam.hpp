@@ -1,0 +1,39 @@
+// Adam first-order optimizer state — the stochastic alternative to L-BFGS
+// for minibatch MLP training (used by the attack ablations and as a
+// fallback when full-batch training does not fit the time budget).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/vector.hpp"
+
+namespace xpuf::ml {
+
+struct AdamOptions {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;  ///< decoupled (AdamW-style) L2 decay
+};
+
+/// Holds first/second moment estimates for one flat parameter vector and
+/// applies bias-corrected updates in place.
+class Adam {
+ public:
+  Adam(std::size_t n_params, const AdamOptions& options = {});
+
+  /// Applies one update: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  void step(linalg::Vector& params, const linalg::Vector& gradient);
+
+  std::size_t steps_taken() const { return t_; }
+  const AdamOptions& options() const { return options_; }
+
+ private:
+  AdamOptions options_;
+  linalg::Vector m_;
+  linalg::Vector v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace xpuf::ml

@@ -1,0 +1,169 @@
+#include "ml/cmaes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+
+namespace xpuf::ml {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+CmaEsResult minimize_cmaes(const BlackBoxObjective& f, Vector x0,
+                           const CmaEsOptions& options) {
+  XPUF_REQUIRE(!x0.empty(), "CMA-ES needs a non-empty starting point");
+  XPUF_REQUIRE(options.initial_sigma > 0.0, "CMA-ES needs a positive initial sigma");
+  const std::size_t n = x0.size();
+  const double nd = static_cast<double>(n);
+
+  // Hansen's default strategy parameters.
+  const std::size_t lambda =
+      options.lambda > 0 ? options.lambda
+                         : static_cast<std::size_t>(4.0 + std::floor(3.0 * std::log(nd)));
+  XPUF_REQUIRE(lambda >= 2, "CMA-ES population too small");
+  const std::size_t mu = lambda / 2;
+  Vector weights(mu);
+  for (std::size_t i = 0; i < mu; ++i)
+    weights[i] = std::log(static_cast<double>(mu) + 0.5) -
+                 std::log(static_cast<double>(i) + 1.0);
+  double wsum = 0.0;
+  for (double w : weights) wsum += w;
+  weights /= wsum;
+  double mu_eff_den = 0.0;
+  for (double w : weights) mu_eff_den += w * w;
+  const double mu_eff = 1.0 / mu_eff_den;
+
+  const double c_sigma = (mu_eff + 2.0) / (nd + mu_eff + 5.0);
+  const double d_sigma =
+      1.0 + 2.0 * std::max(0.0, std::sqrt((mu_eff - 1.0) / (nd + 1.0)) - 1.0) + c_sigma;
+  const double c_c = (4.0 + mu_eff / nd) / (nd + 4.0 + 2.0 * mu_eff / nd);
+  const double c_1 = 2.0 / ((nd + 1.3) * (nd + 1.3) + mu_eff);
+  const double c_mu = std::min(
+      1.0 - c_1, 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((nd + 2.0) * (nd + 2.0) + mu_eff));
+  const double chi_n = std::sqrt(nd) * (1.0 - 1.0 / (4.0 * nd) + 1.0 / (21.0 * nd * nd));
+
+  // Evolution state.
+  Vector mean = std::move(x0);
+  double sigma = options.initial_sigma;
+  Matrix c = Matrix::identity(n);
+  Matrix b = Matrix::identity(n);  // eigenvectors of C
+  Vector d(n, 1.0);                // sqrt eigenvalues of C
+  Vector p_sigma(n), p_c(n);
+  Rng rng(options.seed);
+
+  CmaEsResult result;
+  result.x = mean;
+  result.value = f(mean);
+  result.evaluations = 1;
+  if (!std::isfinite(result.value))
+    throw NumericalError("CMA-ES: objective is non-finite at the starting point");
+
+  std::deque<double> best_history;
+  std::vector<Vector> z(lambda, Vector(n)), y(lambda, Vector(n)), x(lambda, Vector(n));
+  std::vector<double> fitness(lambda);
+  std::vector<std::size_t> order(lambda);
+
+  for (std::size_t gen = 0; gen < options.max_generations; ++gen) {
+    result.generations = gen + 1;
+
+    // Sample and evaluate the population: x_k = mean + sigma * B D z_k.
+    std::size_t finite = 0;
+    for (std::size_t k = 0; k < lambda; ++k) {
+      for (std::size_t i = 0; i < n; ++i) z[k][i] = rng.normal();
+      for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < n; ++j) s += b(i, j) * d[j] * z[k][j];
+        y[k][i] = s;
+        x[k][i] = mean[i] + sigma * s;
+      }
+      fitness[k] = f(x[k]);
+      ++result.evaluations;
+      if (std::isfinite(fitness[k])) ++finite;
+      else fitness[k] = std::numeric_limits<double>::max();
+    }
+    if (finite == 0)
+      throw NumericalError("CMA-ES: every candidate of a generation was non-finite");
+
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&fitness](std::size_t a2, std::size_t b2) {
+                return fitness[a2] < fitness[b2];
+              });
+    if (fitness[order[0]] < result.value) {
+      result.value = fitness[order[0]];
+      result.x = x[order[0]];
+    }
+
+    // Recombination.
+    Vector y_w(n);
+    for (std::size_t i = 0; i < mu; ++i) linalg::axpy(weights[i], y[order[i]], y_w);
+    for (std::size_t i = 0; i < n; ++i) mean[i] += sigma * y_w[i];
+
+    // Step-size path: p_sigma uses C^{-1/2} y_w = B z_w with
+    // z_w = sum w_i z_(i).
+    Vector z_w(n);
+    for (std::size_t i = 0; i < mu; ++i) linalg::axpy(weights[i], z[order[i]], z_w);
+    Vector c_inv_half_yw(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < n; ++j) s += b(i, j) * z_w[j];
+      c_inv_half_yw[i] = s;
+    }
+    const double cs_coef = std::sqrt(c_sigma * (2.0 - c_sigma) * mu_eff);
+    for (std::size_t i = 0; i < n; ++i)
+      p_sigma[i] = (1.0 - c_sigma) * p_sigma[i] + cs_coef * c_inv_half_yw[i];
+
+    const double ps_norm = linalg::norm2(p_sigma);
+    const bool h_sigma =
+        ps_norm / std::sqrt(1.0 - std::pow(1.0 - c_sigma,
+                                           2.0 * static_cast<double>(gen + 1))) <
+        (1.4 + 2.0 / (nd + 1.0)) * chi_n;
+
+    const double cc_coef = std::sqrt(c_c * (2.0 - c_c) * mu_eff);
+    for (std::size_t i = 0; i < n; ++i)
+      p_c[i] = (1.0 - c_c) * p_c[i] + (h_sigma ? cc_coef * y_w[i] : 0.0);
+
+    // Covariance update: rank-one + rank-mu.
+    const double delta_h = h_sigma ? 0.0 : c_c * (2.0 - c_c);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double rank_mu = 0.0;
+        for (std::size_t k = 0; k < mu; ++k)
+          rank_mu += weights[k] * y[order[k]][i] * y[order[k]][j];
+        c(i, j) = (1.0 - c_1 - c_mu + c_1 * delta_h) * c(i, j) +
+                  c_1 * p_c[i] * p_c[j] + c_mu * rank_mu;
+      }
+    }
+
+    // Step-size update.
+    sigma *= std::exp((c_sigma / d_sigma) * (ps_norm / chi_n - 1.0));
+    sigma = std::min(sigma, 1e6);
+
+    // Refresh the eigendecomposition (cheap at attack dimensions).
+    const linalg::EigenDecomposition eig = linalg::eigen_symmetric(c);
+    for (std::size_t j = 0; j < n; ++j) {
+      d[j] = std::sqrt(std::max(eig.values[j], 1e-20));
+      for (std::size_t i = 0; i < n; ++i) b(i, j) = eig.vectors(i, j);
+    }
+
+    // Stagnation stop.
+    best_history.push_back(result.value);
+    if (best_history.size() > options.stagnation_window) {
+      best_history.pop_front();
+      const double improvement = best_history.front() - best_history.back();
+      if (improvement >= 0.0 &&
+          improvement <= options.f_tolerance * std::max(1.0, std::fabs(result.value))) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xpuf::ml

@@ -1,0 +1,43 @@
+// CMA-ES (covariance matrix adaptation evolution strategy) minimizer.
+//
+// The optimizer behind Becker's reliability-based attack on XOR arbiter
+// PUFs (the paper's ref [9]): the reliability objective is non-smooth and
+// non-convex, which is exactly CMA-ES territory. Standard (mu/mu_w, lambda)
+// formulation with rank-one + rank-mu covariance updates and cumulative
+// step-size adaptation (Hansen's tutorial parameterization).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "linalg/vector.hpp"
+
+namespace xpuf::ml {
+
+/// Black-box objective: smaller is better. No gradients.
+using BlackBoxObjective = std::function<double(const linalg::Vector& x)>;
+
+struct CmaEsOptions {
+  std::size_t lambda = 0;          ///< population size; 0 = 4 + 3 ln(n)
+  double initial_sigma = 0.5;      ///< initial global step size
+  std::size_t max_generations = 300;
+  double f_tolerance = 1e-10;      ///< stop when best f stagnates below this
+  std::size_t stagnation_window = 30;
+  std::uint64_t seed = 1;
+};
+
+struct CmaEsResult {
+  linalg::Vector x;            ///< best point seen
+  double value = 0.0;          ///< objective at x
+  std::size_t generations = 0;
+  std::size_t evaluations = 0;
+  bool converged = false;      ///< stopped on stagnation (vs generation cap)
+};
+
+/// Minimizes the objective from `x0`. Throws NumericalError if the
+/// objective returns non-finite values for every candidate of a generation.
+CmaEsResult minimize_cmaes(const BlackBoxObjective& f, linalg::Vector x0,
+                           const CmaEsOptions& options = {});
+
+}  // namespace xpuf::ml

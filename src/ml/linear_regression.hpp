@@ -1,0 +1,47 @@
+// Ordinary-least-squares / ridge linear regression.
+//
+// This is the paper's enrollment model (Sec 4): measured *soft* responses
+// (fractional flip rates) are regressed on the transformed challenge
+// features; the fitted coefficients are proportional to the PUF's delay
+// parameters and the fitted values are the "model predicted soft responses"
+// that the threshold scheme classifies.
+#pragma once
+
+#include "linalg/least_squares.hpp"
+#include "ml/dataset.hpp"
+
+namespace xpuf::ml {
+
+struct LinearRegressionOptions {
+  bool fit_intercept = false;  ///< PUF features already carry a bias term
+  double ridge = 0.0;
+  linalg::LeastSquaresMethod method = linalg::LeastSquaresMethod::kAuto;
+};
+
+class LinearRegression {
+ public:
+  explicit LinearRegression(LinearRegressionOptions options = {})
+      : options_(options) {}
+
+  /// Fits coefficients to the dataset; throws on underdetermined input.
+  void fit(const Dataset& data);
+
+  /// Predicted value for one feature row.
+  double predict(std::span<const double> features) const;
+
+  /// Predicted values for all rows of a matrix.
+  linalg::Vector predict(const linalg::Matrix& x) const;
+
+  bool fitted() const { return !coefficients_.empty(); }
+  const linalg::Vector& coefficients() const { return coefficients_; }
+  double intercept() const { return intercept_; }
+  double train_r_squared() const { return train_r_squared_; }
+
+ private:
+  LinearRegressionOptions options_;
+  linalg::Vector coefficients_;
+  double intercept_ = 0.0;
+  double train_r_squared_ = 0.0;
+};
+
+}  // namespace xpuf::ml

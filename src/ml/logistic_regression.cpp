@@ -1,0 +1,64 @@
+#include "ml/logistic_regression.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace xpuf::ml {
+
+LbfgsResult LogisticRegression::fit(const Dataset& data) {
+  XPUF_REQUIRE(!data.empty(), "LogisticRegression::fit on empty dataset");
+  const std::size_t n = data.size();
+  const std::size_t d = data.features();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  // Mean cross-entropy with L2 penalty; gradient computed in one pass.
+  Objective obj = [&](const linalg::Vector& w, linalg::Vector& grad) {
+    grad.fill(0.0);
+    double loss = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* row = data.x.row(r);
+      double z = 0.0;
+      for (std::size_t c = 0; c < d; ++c) z += row[c] * w[c];
+      const double t = data.y[r] >= 0.5 ? 1.0 : 0.0;
+      // log(1 + exp(-z)) for t=1, log(1 + exp(z)) for t=0, via softplus.
+      loss += t > 0.5 ? softplus(-z) : softplus(z);
+      const double p = sigmoid(z);
+      const double err = (p - t) * inv_n;
+      for (std::size_t c = 0; c < d; ++c) grad[c] += err * row[c];
+    }
+    loss *= inv_n;
+    for (std::size_t c = 0; c < d; ++c) {
+      loss += 0.5 * options_.l2 * w[c] * w[c];
+      grad[c] += options_.l2 * w[c];
+    }
+    return loss;
+  };
+
+  LbfgsResult res = minimize_lbfgs(obj, linalg::Vector(d), options_.lbfgs);
+  weights_ = res.x;
+  return res;
+}
+
+double LogisticRegression::predict_probability(std::span<const double> features) const {
+  XPUF_REQUIRE(fitted(), "LogisticRegression::predict before fit");
+  XPUF_REQUIRE(features.size() == weights_.size(),
+               "LogisticRegression feature-count mismatch");
+  double z = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) z += weights_[i] * features[i];
+  return sigmoid(z);
+}
+
+double LogisticRegression::predict(std::span<const double> features) const {
+  return predict_probability(features) >= 0.5 ? 1.0 : 0.0;
+}
+
+linalg::Vector LogisticRegression::predict_probability(const linalg::Matrix& x) const {
+  XPUF_REQUIRE(fitted(), "LogisticRegression::predict before fit");
+  linalg::Vector z = linalg::matvec(x, weights_);
+  for (double& v : z) v = sigmoid(v);
+  return z;
+}
+
+}  // namespace xpuf::ml

@@ -1,0 +1,44 @@
+// L2-regularized logistic regression trained with L-BFGS.
+//
+// This is the conventional single-arbiter-PUF modeling attack from the
+// literature the paper cites [2-5], and the hard-response enrollment
+// baseline the paper's Sec 4 argues *against* (ablation bench 1 compares it
+// with the soft-response linear regression).
+#pragma once
+
+#include "ml/dataset.hpp"
+#include "ml/lbfgs.hpp"
+
+namespace xpuf::ml {
+
+struct LogisticRegressionOptions {
+  double l2 = 1e-6;  ///< ridge penalty on the weights
+  LbfgsOptions lbfgs;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {})
+      : options_(options) {}
+
+  /// Fits to 0/1 targets; returns the optimizer result for diagnostics.
+  LbfgsResult fit(const Dataset& data);
+
+  /// P(label == 1 | features).
+  double predict_probability(std::span<const double> features) const;
+
+  /// Hard 0/1 prediction at threshold 0.5.
+  double predict(std::span<const double> features) const;
+
+  /// Probabilities for all rows.
+  linalg::Vector predict_probability(const linalg::Matrix& x) const;
+
+  bool fitted() const { return !weights_.empty(); }
+  const linalg::Vector& weights() const { return weights_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  linalg::Vector weights_;
+};
+
+}  // namespace xpuf::ml

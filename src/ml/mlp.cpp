@@ -1,0 +1,235 @@
+#include "ml/mlp.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace xpuf::ml {
+
+Mlp::Mlp(std::size_t n_inputs, MlpOptions options) : options_(std::move(options)) {
+  XPUF_REQUIRE(n_inputs > 0, "Mlp needs at least one input");
+  layer_sizes_.push_back(n_inputs);
+  for (std::size_t h : options_.hidden_layers) {
+    XPUF_REQUIRE(h > 0, "Mlp hidden layer of width zero");
+    layer_sizes_.push_back(h);
+  }
+  layer_sizes_.push_back(1);  // single logit output
+
+  std::size_t total = 0;
+  for (std::size_t l = 1; l < layer_sizes_.size(); ++l) {
+    w_offset_.push_back(total);
+    total += layer_sizes_[l] * layer_sizes_[l - 1];
+    b_offset_.push_back(total);
+    total += layer_sizes_[l];
+  }
+  params_ = linalg::Vector(total);
+  initialize_weights();
+}
+
+void Mlp::set_parameters(const linalg::Vector& params) {
+  XPUF_REQUIRE(params.size() == params_.size(), "Mlp parameter-count mismatch");
+  params_ = params;
+}
+
+void Mlp::initialize_weights() {
+  Rng rng(options_.seed);
+  params_.fill(0.0);
+  for (std::size_t l = 1; l < layer_sizes_.size(); ++l) {
+    const std::size_t fan_in = layer_sizes_[l - 1];
+    const std::size_t fan_out = layer_sizes_[l];
+    const double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    const std::size_t base = w_offset_[l - 1];
+    for (std::size_t i = 0; i < fan_out * fan_in; ++i)
+      params_[base + i] = rng.uniform(-bound, bound);
+    // Biases start at zero (b_offset_ region already cleared).
+  }
+}
+
+double Mlp::activate(double z) const {
+  switch (options_.activation) {
+    case Activation::kTanh: return std::tanh(z);
+    case Activation::kRelu: return z > 0.0 ? z : 0.0;
+    case Activation::kSigmoid: return sigmoid(z);
+  }
+  return z;
+}
+
+double Mlp::activate_derivative(double activated) const {
+  switch (options_.activation) {
+    case Activation::kTanh: return 1.0 - activated * activated;
+    case Activation::kRelu: return activated > 0.0 ? 1.0 : 0.0;
+    case Activation::kSigmoid: return activated * (1.0 - activated);
+  }
+  return 1.0;
+}
+
+void Mlp::forward(const linalg::Matrix& x, const linalg::Vector& params,
+                  std::vector<linalg::Matrix>& activations) const {
+  const std::size_t n = x.rows();
+  const std::size_t layers = layer_sizes_.size();
+  activations.assign(layers, linalg::Matrix{});
+  activations[0] = x;
+  for (std::size_t l = 1; l < layers; ++l) {
+    const std::size_t in = layer_sizes_[l - 1];
+    const std::size_t out = layer_sizes_[l];
+    const double* w = params.data() + w_offset_[l - 1];
+    const double* b = params.data() + b_offset_[l - 1];
+    const bool is_output = (l == layers - 1);
+    linalg::Matrix a(n, out);
+    const linalg::Matrix& prev = activations[l - 1];
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* prow = prev.row(r);
+      double* arow = a.row(r);
+      for (std::size_t i = 0; i < out; ++i) {
+        const double* wrow = w + i * in;
+        double z = b[i];
+        for (std::size_t j = 0; j < in; ++j) z += wrow[j] * prow[j];
+        arow[i] = is_output ? z : activate(z);
+      }
+    }
+    activations[l] = std::move(a);
+  }
+}
+
+double Mlp::loss_and_gradient(const linalg::Matrix& x, const linalg::Vector& y,
+                              const linalg::Vector& params, linalg::Vector& grad) const {
+  XPUF_REQUIRE(x.cols() == layer_sizes_.front(), "Mlp input-width mismatch");
+  XPUF_REQUIRE(x.rows() == y.size(), "Mlp sample/target mismatch");
+  XPUF_REQUIRE(params.size() == params_.size(), "Mlp parameter-count mismatch");
+  const std::size_t n = x.rows();
+  const std::size_t layers = layer_sizes_.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  std::vector<linalg::Matrix> a;
+  forward(x, params, a);
+
+  grad.resize(params.size());
+  grad.fill(0.0);
+
+  // BCE-with-logits loss and output delta.
+  double loss = 0.0;
+  linalg::Matrix delta(n, 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double z = a[layers - 1](r, 0);
+    const double t = y[r] >= 0.5 ? 1.0 : 0.0;
+    loss += t > 0.5 ? softplus(-z) : softplus(z);
+    delta(r, 0) = (sigmoid(z) - t) * inv_n;
+  }
+  loss *= inv_n;
+
+  // Backward pass: for each layer, accumulate dW/db from delta, then
+  // propagate delta to the previous layer through W and the activation.
+  for (std::size_t l = layers - 1; l >= 1; --l) {
+    const std::size_t in = layer_sizes_[l - 1];
+    const std::size_t out = layer_sizes_[l];
+    const double* w = params.data() + w_offset_[l - 1];
+    double* gw = grad.data() + w_offset_[l - 1];
+    double* gb = grad.data() + b_offset_[l - 1];
+    const linalg::Matrix& prev = a[l - 1];
+
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* drow = delta.row(r);
+      const double* prow = prev.row(r);
+      for (std::size_t i = 0; i < out; ++i) {
+        const double di = drow[i];
+        if (di == 0.0) continue;
+        gb[i] += di;
+        double* gwrow = gw + i * in;
+        for (std::size_t j = 0; j < in; ++j) gwrow[j] += di * prow[j];
+      }
+    }
+
+    if (l > 1) {
+      linalg::Matrix next_delta(n, in);
+      for (std::size_t r = 0; r < n; ++r) {
+        const double* drow = delta.row(r);
+        const double* prow = prev.row(r);
+        double* ndrow = next_delta.row(r);
+        for (std::size_t j = 0; j < in; ++j) {
+          double s = 0.0;
+          for (std::size_t i = 0; i < out; ++i) s += drow[i] * w[i * in + j];
+          ndrow[j] = s * activate_derivative(prow[j]);
+        }
+      }
+      delta = std::move(next_delta);
+    }
+  }
+
+  // L2 penalty on weights only (not biases), matching scikit-learn's alpha.
+  if (options_.l2 > 0.0) {
+    for (std::size_t l = 1; l < layers; ++l) {
+      const std::size_t count = layer_sizes_[l] * layer_sizes_[l - 1];
+      const std::size_t base = w_offset_[l - 1];
+      for (std::size_t i = 0; i < count; ++i) {
+        loss += 0.5 * options_.l2 * params[base + i] * params[base + i];
+        grad[base + i] += options_.l2 * params[base + i];
+      }
+    }
+  }
+  return loss;
+}
+
+LbfgsResult Mlp::fit(const Dataset& data, const LbfgsOptions& options) {
+  XPUF_REQUIRE(!data.empty(), "Mlp::fit on empty dataset");
+  Objective obj = [this, &data](const linalg::Vector& p, linalg::Vector& g) {
+    return loss_and_gradient(data.x, data.y, p, g);
+  };
+  LbfgsResult res = minimize_lbfgs(obj, params_, options);
+  params_ = res.x;
+  return res;
+}
+
+double Mlp::fit_adam(const Dataset& data, const MlpAdamOptions& options, Rng& rng) {
+  XPUF_REQUIRE(!data.empty(), "Mlp::fit_adam on empty dataset");
+  XPUF_REQUIRE(options.batch_size > 0, "Mlp::fit_adam batch size must be positive");
+  Adam adam(params_.size(), options.adam);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  linalg::Vector grad(params_.size());
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += options.batch_size) {
+      const std::size_t stop = std::min(order.size(), start + options.batch_size);
+      linalg::Matrix bx(stop - start, data.features());
+      linalg::Vector by(stop - start);
+      for (std::size_t k = start; k < stop; ++k) {
+        const std::size_t src = order[k];
+        for (std::size_t c = 0; c < data.features(); ++c) bx(k - start, c) = data.x(src, c);
+        by[k - start] = data.y[src];
+      }
+      loss_and_gradient(bx, by, params_, grad);
+      adam.step(params_, grad);
+    }
+  }
+  linalg::Vector final_grad(params_.size());
+  return loss_and_gradient(data.x, data.y, params_, final_grad);
+}
+
+double Mlp::predict_probability(std::span<const double> features) const {
+  XPUF_REQUIRE(features.size() == layer_sizes_.front(), "Mlp input-width mismatch");
+  linalg::Matrix x(1, features.size());
+  for (std::size_t c = 0; c < features.size(); ++c) x(0, c) = features[c];
+  std::vector<linalg::Matrix> a;
+  forward(x, params_, a);
+  return sigmoid(a.back()(0, 0));
+}
+
+linalg::Vector Mlp::predict_probability(const linalg::Matrix& x) const {
+  XPUF_REQUIRE(x.cols() == layer_sizes_.front(), "Mlp input-width mismatch");
+  std::vector<linalg::Matrix> a;
+  forward(x, params_, a);
+  linalg::Vector out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = sigmoid(a.back()(r, 0));
+  return out;
+}
+
+linalg::Vector Mlp::predict(const linalg::Matrix& x) const {
+  linalg::Vector p = predict_probability(x);
+  for (double& v : p) v = v >= 0.5 ? 1.0 : 0.0;
+  return p;
+}
+
+}  // namespace xpuf::ml

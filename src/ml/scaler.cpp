@@ -1,0 +1,54 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xpuf::ml {
+
+void StandardScaler::fit(const linalg::Matrix& x) {
+  XPUF_REQUIRE(x.rows() > 0, "StandardScaler::fit needs at least one row");
+  const std::size_t n = x.rows(), d = x.cols();
+  mean_ = linalg::Vector(d);
+  scale_ = linalg::Vector(d, 1.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < n; ++r) m += x(r, c);
+    m /= static_cast<double>(n);
+    double v = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double dlt = x(r, c) - m;
+      v += dlt * dlt;
+    }
+    v /= static_cast<double>(n);
+    mean_[c] = m;
+    scale_[c] = v > 0.0 ? std::sqrt(v) : 1.0;
+  }
+}
+
+linalg::Matrix StandardScaler::transform(const linalg::Matrix& x) const {
+  XPUF_REQUIRE(fitted(), "StandardScaler::transform before fit");
+  XPUF_REQUIRE(x.cols() == mean_.size(), "StandardScaler column-count mismatch");
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      out(r, c) = (x(r, c) - mean_[c]) / scale_[c];
+  return out;
+}
+
+linalg::Matrix StandardScaler::fit_transform(const linalg::Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+linalg::Matrix StandardScaler::inverse_transform(const linalg::Matrix& x) const {
+  XPUF_REQUIRE(fitted(), "StandardScaler::inverse_transform before fit");
+  XPUF_REQUIRE(x.cols() == mean_.size(), "StandardScaler column-count mismatch");
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    for (std::size_t c = 0; c < x.cols(); ++c)
+      out(r, c) = x(r, c) * scale_[c] + mean_[c];
+  return out;
+}
+
+}  // namespace xpuf::ml

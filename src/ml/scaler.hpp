@@ -1,0 +1,37 @@
+// Feature standardization (zero mean, unit variance per column).
+//
+// PUF parity features are already in {-1, +1} so the attack pipelines work
+// unscaled, but the scaler keeps the ML stack honest for general inputs and
+// is exercised by the ablation benches.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace xpuf::ml {
+
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation. Constant columns get
+  /// scale 1 so transform() is the identity minus the mean there.
+  void fit(const linalg::Matrix& x);
+
+  /// Applies (x - mean) / scale column-wise. fit() must have run.
+  linalg::Matrix transform(const linalg::Matrix& x) const;
+
+  /// fit() then transform().
+  linalg::Matrix fit_transform(const linalg::Matrix& x);
+
+  /// Reverses transform().
+  linalg::Matrix inverse_transform(const linalg::Matrix& x) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const linalg::Vector& mean() const { return mean_; }
+  const linalg::Vector& scale() const { return scale_; }
+
+ private:
+  linalg::Vector mean_;
+  linalg::Vector scale_;
+};
+
+}  // namespace xpuf::ml

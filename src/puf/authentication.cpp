@@ -1,0 +1,72 @@
+#include "puf/authentication.hpp"
+
+#include "common/error.hpp"
+
+namespace xpuf::puf {
+
+AuthenticationServer::AuthenticationServer(ServerModel model, std::size_t n_pufs,
+                                           AuthenticationPolicy policy)
+    : model_(std::move(model)), n_pufs_(n_pufs), policy_(policy) {
+  XPUF_REQUIRE(n_pufs >= 1 && n_pufs <= model_.puf_count(),
+               "authentication n_pufs out of range");
+  XPUF_REQUIRE(policy.challenge_count > 0, "authentication needs at least one challenge");
+}
+
+ChallengeBatch AuthenticationServer::issue(Rng& rng) const {
+  ModelBasedSelector selector(model_, n_pufs_);
+  SelectionResult sel =
+      selector.select(policy_.challenge_count, rng, policy_.max_selection_attempts);
+  if (!sel.filled)
+    throw NumericalError(
+        "challenge selection exhausted its attempt budget: only " +
+        std::to_string(sel.challenges.size()) + " of " +
+        std::to_string(policy_.challenge_count) + " stable challenges found");
+  ChallengeBatch batch;
+  batch.challenges = std::move(sel.challenges);
+  batch.expected = std::move(sel.expected_responses);
+  return batch;
+}
+
+ChallengeBatch AuthenticationServer::issue_random(Rng& rng) const {
+  ChallengeBatch batch;
+  batch.challenges.reserve(policy_.challenge_count);
+  batch.expected.reserve(policy_.challenge_count);
+  for (std::size_t i = 0; i < policy_.challenge_count; ++i) {
+    Challenge c = random_challenge(model_.stages(), rng);
+    batch.expected.push_back(model_.predict_xor(c, n_pufs_));
+    batch.challenges.push_back(std::move(c));
+  }
+  return batch;
+}
+
+AuthenticationOutcome AuthenticationServer::verify(const ChallengeBatch& batch,
+                                                   const std::vector<bool>& responses) const {
+  XPUF_REQUIRE(responses.size() == batch.challenges.size(),
+               "response count does not match issued challenge count");
+  AuthenticationOutcome out;
+  out.challenges_used = batch.challenges.size();
+  for (std::size_t i = 0; i < responses.size(); ++i)
+    if (responses[i] != batch.expected[i]) ++out.mismatches;
+  out.approved = out.mismatches <= policy_.max_hamming_distance;
+  return out;
+}
+
+AuthenticationOutcome AuthenticationServer::authenticate(const sim::XorPufChip& chip,
+                                                         const sim::Environment& env,
+                                                         Rng& rng,
+                                                         bool model_selected) const {
+  const ChallengeBatch batch = model_selected ? issue(rng) : issue_random(rng);
+  // One-shot sampling: the selected CRPs are 100% stable, so a single
+  // evaluation suffices (paper Sec 2.2). Note the XOR width of the physical
+  // chip is fixed by its wiring; the server-side n_pufs must match it, which
+  // is checked here.
+  XPUF_REQUIRE(chip.puf_count() == n_pufs_,
+               "chip XOR width differs from the server's enrolled width");
+  std::vector<bool> responses;
+  responses.reserve(batch.challenges.size());
+  for (const auto& c : batch.challenges) responses.push_back(chip.xor_response(c, env, rng));
+  AuthenticationOutcome out = verify(batch, responses);
+  return out;
+}
+
+}  // namespace xpuf::puf

@@ -1,0 +1,81 @@
+// Authentication phase of the model-assisted XOR PUF (paper Fig 7).
+//
+// The server selects challenges predicted stable on every internal PUF,
+// sends them to the deployed chip, samples the XOR output ONCE per challenge
+// (stability makes repetition unnecessary), and approves only on a perfect
+// match — the zero-Hamming-distance criterion the paper's selected CRPs make
+// affordable. A relaxed Hamming-distance policy is provided as the
+// traditional baseline for comparison benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "puf/selection.hpp"
+#include "sim/chip.hpp"
+
+namespace xpuf::puf {
+
+/// Server-side approval policy.
+struct AuthenticationPolicy {
+  std::size_t challenge_count = 64;       ///< CRPs exchanged per attempt
+  std::size_t max_hamming_distance = 0;   ///< 0 = the paper's strict criterion
+  std::size_t max_selection_attempts = 10'000'000;
+};
+
+struct AuthenticationOutcome {
+  bool approved = false;
+  std::size_t challenges_used = 0;
+  std::size_t mismatches = 0;
+  std::size_t candidates_tried = 0;  ///< selection cost on the server
+
+  double mismatch_fraction() const {
+    return challenges_used == 0
+               ? 0.0
+               : static_cast<double>(mismatches) / static_cast<double>(challenges_used);
+  }
+};
+
+/// One issued challenge batch with the server's expected responses. The
+/// server keeps `expected`; only `challenges` travel to the device.
+struct ChallengeBatch {
+  std::vector<Challenge> challenges;
+  std::vector<bool> expected;
+};
+
+class AuthenticationServer {
+ public:
+  /// `n_pufs` = XOR width in use (the paper recommends >= 10).
+  AuthenticationServer(ServerModel model, std::size_t n_pufs,
+                       AuthenticationPolicy policy = {});
+
+  const ServerModel& model() const { return model_; }
+  const AuthenticationPolicy& policy() const { return policy_; }
+  std::size_t n_pufs() const { return n_pufs_; }
+
+  /// Issues a batch of model-selected stable challenges (Fig 7 left half).
+  /// Throws NumericalError if the selection cannot fill the batch within
+  /// the attempt budget (the n/beta combination yields too few CRPs).
+  ChallengeBatch issue(Rng& rng) const;
+
+  /// Baseline: random challenges with model-predicted responses, no
+  /// stability filtering (the traditional scheme the paper improves on).
+  ChallengeBatch issue_random(Rng& rng) const;
+
+  /// Compares device responses against the batch's expectations.
+  AuthenticationOutcome verify(const ChallengeBatch& batch,
+                               const std::vector<bool>& responses) const;
+
+  /// Full round trip against a chip at a corner: issue, sample the XOR
+  /// output once per challenge, verify.
+  AuthenticationOutcome authenticate(const sim::XorPufChip& chip,
+                                     const sim::Environment& env, Rng& rng,
+                                     bool model_selected = true) const;
+
+ private:
+  ServerModel model_;
+  std::size_t n_pufs_;
+  AuthenticationPolicy policy_;
+};
+
+}  // namespace xpuf::puf

@@ -1,0 +1,132 @@
+#include "puf/database.hpp"
+
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "puf/model_store.hpp"
+
+namespace xpuf::puf {
+
+std::string ServerDatabase::encode(const Challenge& challenge) {
+  std::string s;
+  s.reserve(challenge.size());
+  for (auto b : challenge) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+Challenge ServerDatabase::decode(const std::string& encoded) {
+  Challenge c;
+  c.reserve(encoded.size());
+  for (char ch : encoded) {
+    XPUF_REQUIRE(ch == '0' || ch == '1', "corrupt challenge encoding in ledger");
+    c.push_back(ch == '1' ? 1 : 0);
+  }
+  return c;
+}
+
+void ServerDatabase::register_device(ServerModel model) {
+  XPUF_REQUIRE(model.puf_count() >= config_.n_pufs,
+               "enrolled model has fewer PUFs than the database XOR width");
+  XPUF_REQUIRE(!knows(model.chip_id()), "device already registered");
+  const std::size_t id = model.chip_id();
+  models_.emplace(id, std::move(model));
+  issued_[id];
+}
+
+void ServerDatabase::revoke_device(std::size_t chip_id) {
+  XPUF_REQUIRE(knows(chip_id), "revoking an unknown device");
+  models_.erase(chip_id);
+  issued_.erase(chip_id);
+}
+
+const ServerModel& ServerDatabase::model(std::size_t chip_id) const {
+  const auto it = models_.find(chip_id);
+  XPUF_REQUIRE(it != models_.end(), "unknown device id");
+  return it->second;
+}
+
+ChallengeBatch ServerDatabase::issue(std::size_t chip_id, Rng& rng) {
+  const ServerModel& m = model(chip_id);
+  std::set<std::string>& ledger = issued_[chip_id];
+
+  ChallengeBatch batch;
+  ModelBasedSelector selector(m, config_.n_pufs);
+  std::size_t attempts = 0;
+  while (batch.challenges.size() < config_.policy.challenge_count) {
+    // Select in small gulps so the replay filter can interleave.
+    SelectionResult sel = selector.select(config_.policy.challenge_count, rng,
+                                          config_.policy.max_selection_attempts);
+    attempts += sel.candidates_tried;
+    if (sel.challenges.empty() || attempts > config_.policy.max_selection_attempts)
+      throw NumericalError("challenge issuance exhausted its attempt budget");
+    for (std::size_t i = 0; i < sel.challenges.size() &&
+                            batch.challenges.size() < config_.policy.challenge_count;
+         ++i) {
+      const std::string key = encode(sel.challenges[i]);
+      if (!ledger.insert(key).second) continue;  // replay-guarded
+      batch.challenges.push_back(std::move(sel.challenges[i]));
+      batch.expected.push_back(sel.expected_responses[i]);
+    }
+  }
+  return batch;
+}
+
+AuthenticationOutcome ServerDatabase::verify(std::size_t chip_id,
+                                             const ChallengeBatch& batch,
+                                             const std::vector<bool>& responses) const {
+  AuthenticationServer server(model(chip_id), config_.n_pufs, config_.policy);
+  return server.verify(batch, responses);
+}
+
+DatabaseAuthOutcome ServerDatabase::authenticate(const sim::XorPufChip& chip,
+                                                 const sim::Environment& env, Rng& rng) {
+  DatabaseAuthOutcome out;
+  if (!knows(chip.id())) return out;  // unknown device: denied by default
+  out.known_device = true;
+  const ChallengeBatch batch = issue(chip.id(), rng);
+  std::vector<bool> responses;
+  responses.reserve(batch.challenges.size());
+  for (const auto& c : batch.challenges) responses.push_back(chip.xor_response(c, env, rng));
+  out.outcome = verify(chip.id(), batch, responses);
+  return out;
+}
+
+std::size_t ServerDatabase::issued_count(std::size_t chip_id) const {
+  const auto it = issued_.find(chip_id);
+  XPUF_REQUIRE(it != issued_.end(), "unknown device id");
+  return it->second.size();
+}
+
+void ServerDatabase::save(const std::string& directory) const {
+  ensure_directory(directory);
+  for (const auto& [id, m] : models_) {
+    save_server_model(m, directory + "/device_" + std::to_string(id) + ".csv");
+    CsvWriter ledger(directory + "/ledger_" + std::to_string(id) + ".csv",
+                     {"challenge"});
+    for (const auto& key : issued_.at(id))
+      ledger.write_row(std::vector<std::string>{key});
+  }
+}
+
+ServerDatabase ServerDatabase::load(const std::string& directory, DatabaseConfig config) {
+  ServerDatabase db(config);
+  namespace fs = std::filesystem;
+  XPUF_REQUIRE(fs::is_directory(directory), "database directory does not exist");
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("device_", 0) != 0) continue;
+    ServerModel m = load_server_model(entry.path().string());
+    const std::size_t id = m.chip_id();
+    db.register_device(std::move(m));
+    const std::string ledger_path = directory + "/ledger_" + std::to_string(id) + ".csv";
+    if (fs::exists(ledger_path)) {
+      const CsvData ledger = read_csv(ledger_path);
+      for (const auto& row : ledger.rows)
+        if (!row.empty() && !row[0].empty()) db.issued_[id].insert(row[0]);
+    }
+  }
+  return db;
+}
+
+}  // namespace xpuf::puf

@@ -1,0 +1,81 @@
+// Multi-device server database and authentication front end.
+//
+// The paper's server stores per-chip delay parameters and thresholds "in
+// the server database" and runs the Fig 7 flow per authentication request.
+// This module is the deployment-shaped wrapper around those pieces: a
+// registry of enrolled chips, per-device authentication with the zero-HD
+// policy, challenge-replay protection (a challenge is never reused for a
+// device — otherwise an eavesdropper could replay recorded responses), and
+// persistence of the whole registry to a directory of model files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "puf/authentication.hpp"
+
+namespace xpuf::puf {
+
+struct DatabaseConfig {
+  std::size_t n_pufs = 10;  ///< XOR width used for every device
+  AuthenticationPolicy policy;
+};
+
+/// Result of a database-level authentication request.
+struct DatabaseAuthOutcome {
+  bool known_device = false;
+  AuthenticationOutcome outcome;
+  std::size_t replay_rejected = 0;  ///< candidates dropped by replay guard
+};
+
+class ServerDatabase {
+ public:
+  explicit ServerDatabase(DatabaseConfig config) : config_(config) {}
+
+  const DatabaseConfig& config() const { return config_; }
+  std::size_t device_count() const { return models_.size(); }
+  bool knows(std::size_t chip_id) const { return models_.count(chip_id) != 0; }
+
+  /// Registers an enrolled chip; rejects duplicate ids and width mismatches.
+  void register_device(ServerModel model);
+
+  /// Removes a device and its replay history.
+  void revoke_device(std::size_t chip_id);
+
+  const ServerModel& model(std::size_t chip_id) const;
+
+  /// Issues a fresh stable-challenge batch for a device, excluding every
+  /// challenge the server has ever sent to it (replay protection). The
+  /// issued challenges are recorded immediately.
+  ChallengeBatch issue(std::size_t chip_id, Rng& rng);
+
+  /// Verifies responses against the last batch semantics (stateless check —
+  /// the caller passes the batch back; the database just applies policy).
+  AuthenticationOutcome verify(std::size_t chip_id, const ChallengeBatch& batch,
+                               const std::vector<bool>& responses) const;
+
+  /// Full round trip against a physical chip.
+  DatabaseAuthOutcome authenticate(const sim::XorPufChip& chip,
+                                   const sim::Environment& env, Rng& rng);
+
+  /// Challenges ever issued to a device.
+  std::size_t issued_count(std::size_t chip_id) const;
+
+  /// Writes one model file per device into `directory` (created if absent)
+  /// plus the issued-challenge ledger; `load` restores the registry.
+  void save(const std::string& directory) const;
+  static ServerDatabase load(const std::string& directory, DatabaseConfig config);
+
+ private:
+  DatabaseConfig config_;
+  std::map<std::size_t, ServerModel> models_;
+  /// Replay ledger: compact challenge encodings per device.
+  std::map<std::size_t, std::set<std::string>> issued_;
+
+  static std::string encode(const Challenge& challenge);
+  static Challenge decode(const std::string& encoded);
+};
+
+}  // namespace xpuf::puf

@@ -1,0 +1,106 @@
+#include "puf/enrollment.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "ml/dataset.hpp"
+
+namespace xpuf::puf {
+
+ThresholdPair tighten(const ThresholdPair& thresholds, const BetaFactors& betas) {
+  XPUF_REQUIRE(betas.beta0 > 0.0 && betas.beta0 <= 1.0, "beta0 must be in (0, 1]");
+  XPUF_REQUIRE(betas.beta1 >= 1.0, "beta1 must be >= 1");
+  ThresholdPair out;
+  // Multiplicative scaling as in the paper; inverted for negative values so
+  // the stable-'0' region always shrinks downward and stable-'1' upward.
+  out.thr0 = thresholds.thr0 >= 0.0 ? thresholds.thr0 * betas.beta0
+                                    : thresholds.thr0 / betas.beta0;
+  out.thr1 = thresholds.thr1 >= 0.0 ? thresholds.thr1 * betas.beta1
+                                    : thresholds.thr1 / betas.beta1;
+  return out;
+}
+
+ServerModel::ServerModel(std::size_t chip_id, std::vector<PufEnrollment> pufs)
+    : chip_id_(chip_id), pufs_(std::move(pufs)) {
+  XPUF_REQUIRE(!pufs_.empty(), "ServerModel needs at least one PUF enrollment");
+}
+
+std::size_t ServerModel::stages() const {
+  XPUF_REQUIRE(!pufs_.empty(), "empty ServerModel");
+  return pufs_.front().model.stages();
+}
+
+const PufEnrollment& ServerModel::puf(std::size_t i) const {
+  XPUF_REQUIRE(i < pufs_.size(), "PUF index out of range");
+  return pufs_[i];
+}
+
+ThresholdPair ServerModel::adjusted_thresholds(std::size_t puf_index) const {
+  return tighten(puf(puf_index).thresholds, betas_);
+}
+
+double ServerModel::predict_soft(std::size_t puf_index, const Challenge& challenge) const {
+  return puf(puf_index).model.predict_raw(challenge);
+}
+
+StableClass ServerModel::classify(std::size_t puf_index, const Challenge& challenge) const {
+  return adjusted_thresholds(puf_index).classify(predict_soft(puf_index, challenge));
+}
+
+bool ServerModel::all_stable(const Challenge& challenge, std::size_t n_pufs) const {
+  XPUF_REQUIRE(n_pufs >= 1 && n_pufs <= pufs_.size(), "n_pufs out of range");
+  for (std::size_t p = 0; p < n_pufs; ++p)
+    if (classify(p, challenge) == StableClass::kUnstable) return false;
+  return true;
+}
+
+bool ServerModel::predict_xor(const Challenge& challenge, std::size_t n_pufs) const {
+  XPUF_REQUIRE(n_pufs >= 1 && n_pufs <= pufs_.size(), "n_pufs out of range");
+  bool out = false;
+  for (std::size_t p = 0; p < n_pufs; ++p) out ^= pufs_[p].model.predict_response(challenge);
+  return out;
+}
+
+ServerModel Enroller::enroll(const sim::XorPufChip& chip, Rng& rng) const {
+  sim::ChipTester tester(config_.environment, config_.trials, rng.fork());
+  const auto challenges = tester.random_challenges(chip, config_.training_challenges);
+  const sim::ChipSoftScan scan = tester.scan_individual(chip, challenges);
+  return enroll_from_scan(chip.id(), scan);
+}
+
+ServerModel Enroller::enroll_from_scan(std::size_t chip_id,
+                                       const sim::ChipSoftScan& scan) const {
+  XPUF_REQUIRE(!scan.challenges.empty(), "enrollment scan has no challenges");
+  XPUF_REQUIRE(!scan.soft.empty(), "enrollment scan has no PUF measurements");
+
+  const linalg::Matrix phi = feature_matrix(scan.challenges);
+  std::vector<PufEnrollment> pufs;
+  pufs.reserve(scan.soft.size());
+
+  for (std::size_t p = 0; p < scan.soft.size(); ++p) {
+    XPUF_REQUIRE(scan.soft[p].size() == scan.challenges.size(),
+                 "scan soft-response row length mismatch");
+    ml::Dataset data;
+    data.x = phi;
+    data.y = linalg::Vector(std::vector<double>(scan.soft[p].begin(), scan.soft[p].end()));
+
+    ml::LinearRegressionOptions opts;
+    opts.fit_intercept = false;  // phi carries the constant feature
+    opts.ridge = config_.ridge;
+
+    Timer timer;
+    ml::LinearRegression reg(opts);
+    reg.fit(data);
+    const double fit_ms = timer.millis();
+
+    const linalg::Vector predicted = reg.predict(phi);
+    PufEnrollment e;
+    e.model = ArbiterPufModel(reg.coefficients());
+    e.thresholds = derive_thresholds(predicted.span(), std::span<const double>(scan.soft[p]));
+    e.train_r_squared = reg.train_r_squared();
+    e.fit_time_ms = fit_ms;
+    pufs.push_back(std::move(e));
+  }
+  return ServerModel(chip_id, std::move(pufs));
+}
+
+}  // namespace xpuf::puf

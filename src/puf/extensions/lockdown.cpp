@@ -1,0 +1,23 @@
+#include "puf/extensions/lockdown.hpp"
+
+namespace xpuf::puf {
+
+bool LockdownGate::authorize(std::uint64_t device_id, std::uint64_t count) {
+  XPUF_REQUIRE(count > 0, "lockdown authorization for zero CRPs");
+  const std::uint64_t used = issued(device_id);
+  if (used + count > policy_.lifetime_crp_budget) return false;
+  issued_[device_id] = used + count;
+  return true;
+}
+
+std::uint64_t LockdownGate::remaining(std::uint64_t device_id) const {
+  const std::uint64_t used = issued(device_id);
+  return policy_.lifetime_crp_budget - used;
+}
+
+std::uint64_t LockdownGate::issued(std::uint64_t device_id) const {
+  const auto it = issued_.find(device_id);
+  return it == issued_.end() ? 0 : it->second;
+}
+
+}  // namespace xpuf::puf

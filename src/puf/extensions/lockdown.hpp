@@ -1,0 +1,47 @@
+// Lockdown-style CRP budgeting (Yu et al. [7]) — the second related-work
+// mitigation the paper discusses: CRPs are only obtainable with the
+// server's permission, so an attacker cannot accumulate a training set.
+//
+// This module models the server-side interface ledger: every challenge
+// issued to a device is debited against a per-device budget, and the gate
+// refuses to release more once the budget that would enable a modeling
+// attack is exhausted. (The paper's criticism — "requires complicated
+// system level support" — is visible here as the state the server must
+// persist per device forever.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace xpuf::puf {
+
+struct LockdownPolicy {
+  /// Lifetime CRP budget per device id. The paper's Fig 4 suggests ~100k
+  /// CRPs break n < 10; a safe budget sits well below the attack knee.
+  std::uint64_t lifetime_crp_budget = 10'000;
+};
+
+class LockdownGate {
+ public:
+  explicit LockdownGate(LockdownPolicy policy) : policy_(policy) {}
+
+  const LockdownPolicy& policy() const { return policy_; }
+
+  /// Requests permission to release `count` CRPs for a device. Returns true
+  /// and debits the budget when allowed; false (no state change) otherwise.
+  bool authorize(std::uint64_t device_id, std::uint64_t count);
+
+  /// CRPs still available to a device.
+  std::uint64_t remaining(std::uint64_t device_id) const;
+
+  /// Total CRPs ever released to a device.
+  std::uint64_t issued(std::uint64_t device_id) const;
+
+ private:
+  LockdownPolicy policy_;
+  std::map<std::uint64_t, std::uint64_t> issued_;
+};
+
+}  // namespace xpuf::puf

@@ -1,0 +1,76 @@
+#include "puf/extensions/noise_bifurcation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "puf/transform.hpp"
+
+namespace xpuf::puf {
+
+BifurcationTranscript run_bifurcation_exchange(const sim::XorPufChip& chip,
+                                               const NoiseBifurcationConfig& config,
+                                               const sim::Environment& env, Rng& rng) {
+  XPUF_REQUIRE(config.group_size >= 1, "bifurcation group size must be >= 1");
+  XPUF_REQUIRE(config.groups >= 1, "bifurcation needs at least one group");
+  BifurcationTranscript transcript;
+  transcript.groups.reserve(config.groups);
+  for (std::size_t g = 0; g < config.groups; ++g) {
+    BifurcationGroup group;
+    group.challenges.reserve(config.group_size);
+    for (std::size_t i = 0; i < config.group_size; ++i)
+      group.challenges.push_back(random_challenge(chip.stages(), rng));
+    const std::size_t chosen =
+        static_cast<std::size_t>(rng.uniform_below(config.group_size));
+    group.response = chip.xor_response(group.challenges[chosen], env, rng);
+    transcript.groups.push_back(std::move(group));
+  }
+  return transcript;
+}
+
+double verify_bifurcation(const ServerModel& model, std::size_t n_pufs,
+                          const BifurcationTranscript& transcript) {
+  XPUF_REQUIRE(!transcript.groups.empty(), "empty bifurcation transcript");
+  std::size_t passing = 0;
+  for (const auto& group : transcript.groups) {
+    bool any = false;
+    for (const auto& c : group.challenges)
+      if (model.predict_xor(c, n_pufs) == group.response) any = true;
+    if (any) ++passing;
+  }
+  return static_cast<double>(passing) / static_cast<double>(transcript.groups.size());
+}
+
+double bifurcation_accept_threshold(std::size_t group_size) {
+  XPUF_REQUIRE(group_size >= 1, "bifurcation group size must be >= 1");
+  const double counterfeit =
+      1.0 - std::pow(0.5, static_cast<double>(group_size));
+  return 0.5 * (1.0 + counterfeit);
+}
+
+ml::Dataset bifurcation_attack_dataset(
+    const std::vector<BifurcationTranscript>& observed) {
+  XPUF_REQUIRE(!observed.empty(), "no transcripts observed");
+  std::size_t rows = 0;
+  std::size_t stages = 0;
+  for (const auto& t : observed)
+    for (const auto& g : t.groups) {
+      rows += g.challenges.size();
+      if (!g.challenges.empty()) stages = g.challenges.front().size();
+    }
+  XPUF_REQUIRE(rows > 0, "transcripts contain no challenges");
+
+  ml::Dataset data;
+  data.x = linalg::Matrix(rows, stages + 1);
+  data.y = linalg::Vector(rows);
+  std::size_t r = 0;
+  for (const auto& t : observed)
+    for (const auto& g : t.groups)
+      for (const auto& c : g.challenges) {
+        feature_vector_into(c, data.x.row(r));
+        data.y[r] = g.response ? 1.0 : 0.0;
+        ++r;
+      }
+  return data;
+}
+
+}  // namespace xpuf::puf

@@ -1,0 +1,60 @@
+// Noise-bifurcation authentication (Yu et al. [6]) — the related-work
+// baseline the paper contrasts its scheme against (Sec 1).
+//
+// Idea: the device never reveals which challenge a returned response bit
+// belongs to. Challenges are sent in groups of d; the device evaluates all
+// of them and returns the response of ONE secretly chosen member per group.
+// An eavesdropper must attribute the bit to every member (label noise
+// (d-1)/(2d)), which degrades modeling attacks. The cost — the paper's
+// criticism — is that the server must relax its acceptance test: it can
+// only check that the bit matches at least one member's predicted response,
+// so a counterfeit passes a single group with probability 1 - 2^-d and many
+// more CRPs are needed for the same confidence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "puf/enrollment.hpp"
+#include "sim/chip.hpp"
+
+namespace xpuf::puf {
+
+struct BifurcationGroup {
+  std::vector<Challenge> challenges;  ///< d member challenges
+  bool response = false;              ///< the one bit the device returned
+};
+
+struct NoiseBifurcationConfig {
+  std::size_t group_size = 2;  ///< d; 1 disables bifurcation
+  std::size_t groups = 64;     ///< groups exchanged per authentication
+};
+
+/// One authentication transcript: everything an eavesdropper sees.
+struct BifurcationTranscript {
+  std::vector<BifurcationGroup> groups;
+};
+
+/// Device-side response generation: evaluates every member at the corner and
+/// returns the response of a uniformly chosen member per group.
+BifurcationTranscript run_bifurcation_exchange(const sim::XorPufChip& chip,
+                                               const NoiseBifurcationConfig& config,
+                                               const sim::Environment& env, Rng& rng);
+
+/// Server-side verification: a group passes when the returned bit matches
+/// the model-predicted response of at least one member. Returns the fraction
+/// of passing groups (genuine device -> ~1.0; counterfeit -> ~1 - 2^-d).
+double verify_bifurcation(const ServerModel& model, std::size_t n_pufs,
+                          const BifurcationTranscript& transcript);
+
+/// Acceptance threshold between the genuine expectation (1.0) and the
+/// counterfeit expectation (1 - 2^-d), placed at the midpoint.
+double bifurcation_accept_threshold(std::size_t group_size);
+
+/// Eavesdropper's training data: each group's bit attributed to every
+/// member challenge (the classic attack surface of the scheme; label noise
+/// (d-1)/(2d) in expectation).
+ml::Dataset bifurcation_attack_dataset(const std::vector<BifurcationTranscript>& observed);
+
+}  // namespace xpuf::puf

@@ -1,0 +1,71 @@
+#include "puf/key_generation.hpp"
+
+#include "common/error.hpp"
+
+namespace xpuf::puf {
+
+FuzzyExtractor::FuzzyExtractor(const KeyGenConfig& config)
+    : code_(config.bch_m, config.bch_t) {}
+
+crypto::Bits FuzzyExtractor::read_response(const sim::XorPufChip& chip,
+                                           const std::vector<Challenge>& challenges,
+                                           const sim::Environment& env, Rng& rng) const {
+  XPUF_REQUIRE(challenges.size() == code_.n(),
+               "key generation needs exactly n = " + std::to_string(code_.n()) +
+                   " challenges");
+  crypto::Bits response;
+  response.reserve(challenges.size());
+  for (const auto& c : challenges)
+    response.push_back(chip.xor_response(c, env, rng) ? 1 : 0);
+  return response;
+}
+
+KeyGenResult FuzzyExtractor::generate(const sim::XorPufChip& chip,
+                                      const std::vector<Challenge>& challenges,
+                                      const sim::Environment& env, Rng& rng) const {
+  const crypto::Bits response = read_response(chip, challenges, env, rng);
+
+  crypto::Bits message(code_.k());
+  for (auto& bit : message) bit = rng.bernoulli() ? 1 : 0;
+  const crypto::Bits codeword = code_.encode(message);
+
+  KeyGenResult result;
+  result.helper.challenges = challenges;
+  result.helper.offset.resize(code_.n());
+  for (std::size_t i = 0; i < code_.n(); ++i)
+    result.helper.offset[i] = response[i] ^ codeword[i];
+  // key = SHA-256 of the packed message bits.
+  std::vector<std::uint8_t> packed((message.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < message.size(); ++i)
+    if (message[i]) packed[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  result.key = crypto::sha256(packed);
+  return result;
+}
+
+KeyRepResult FuzzyExtractor::reproduce_from_bits(const crypto::Bits& response,
+                                                 const HelperData& helper) const {
+  XPUF_REQUIRE(response.size() == code_.n(), "response length mismatch");
+  XPUF_REQUIRE(helper.offset.size() == code_.n(), "helper-data length mismatch");
+  crypto::Bits shifted(code_.n());
+  for (std::size_t i = 0; i < code_.n(); ++i)
+    shifted[i] = response[i] ^ helper.offset[i];
+  const crypto::BchCode::DecodeResult decoded = code_.decode(shifted);
+  KeyRepResult result;
+  if (!decoded.ok) return result;
+  result.ok = true;
+  result.errors_corrected = decoded.errors_corrected;
+  std::vector<std::uint8_t> packed((decoded.message.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < decoded.message.size(); ++i)
+    if (decoded.message[i]) packed[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  result.key = crypto::sha256(packed);
+  return result;
+}
+
+KeyRepResult FuzzyExtractor::reproduce(const sim::XorPufChip& chip,
+                                       const HelperData& helper,
+                                       const sim::Environment& env, Rng& rng) const {
+  const crypto::Bits response = read_response(chip, helper.challenges, env, rng);
+  return reproduce_from_bits(response, helper);
+}
+
+}  // namespace xpuf::puf

@@ -1,0 +1,59 @@
+#include "puf/model.hpp"
+
+#include "common/error.hpp"
+
+namespace xpuf::puf {
+
+double ArbiterPufModel::predict_raw(const Challenge& challenge) const {
+  XPUF_REQUIRE(!empty(), "predict on an empty model");
+  XPUF_REQUIRE(challenge.size() + 1 == weights_.size(), "challenge length mismatch");
+  // Inline the feature transform: phi is a suffix product, so accumulate
+  // w . phi right to left without materializing phi.
+  double acc = 1.0;
+  double sum = weights_[challenge.size()];  // constant feature
+  for (std::size_t ii = challenge.size(); ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    acc *= challenge[i] ? -1.0 : 1.0;
+    sum += weights_[i] * acc;
+  }
+  return sum;
+}
+
+double ArbiterPufModel::predict_raw(std::span<const double> phi) const {
+  XPUF_REQUIRE(!empty(), "predict on an empty model");
+  XPUF_REQUIRE(phi.size() == weights_.size(), "feature length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < phi.size(); ++i) s += weights_[i] * phi[i];
+  return s;
+}
+
+bool ArbiterPufModel::predict_response(const Challenge& challenge) const {
+  return predict_raw(challenge) > 0.5;
+}
+
+bool ArbiterPufModel::predict_response(std::span<const double> phi) const {
+  return predict_raw(phi) > 0.5;
+}
+
+double ArbiterPufModel::agreement(const ArbiterPufModel& a, const ArbiterPufModel& b,
+                                  const std::vector<Challenge>& sample) {
+  XPUF_REQUIRE(!sample.empty(), "agreement needs a non-empty sample");
+  std::size_t same = 0;
+  for (const auto& c : sample)
+    if (a.predict_response(c) == b.predict_response(c)) ++same;
+  return static_cast<double>(same) / static_cast<double>(sample.size());
+}
+
+const ArbiterPufModel& XorPufModel::puf(std::size_t i) const {
+  XPUF_REQUIRE(i < pufs_.size(), "PUF index out of range");
+  return pufs_[i];
+}
+
+bool XorPufModel::predict_response(const Challenge& challenge) const {
+  XPUF_REQUIRE(!pufs_.empty(), "predict on an empty XOR model");
+  bool out = false;
+  for (const auto& p : pufs_) out ^= p.predict_response(challenge);
+  return out;
+}
+
+}  // namespace xpuf::puf

@@ -1,0 +1,98 @@
+#include "puf/model_store.hpp"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace xpuf::puf {
+
+namespace {
+constexpr const char* kFormatVersion = "xpuf-server-model-v1";
+
+std::string format_double(double v) {
+  // Round-trippable double formatting.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double parse_double(const std::string& s, const std::string& context) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw ParseError("");
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("server-model file: bad number '" + s + "' in " + context);
+  }
+}
+}  // namespace
+
+void save_server_model(const ServerModel& model, const std::string& path) {
+  XPUF_REQUIRE(model.puf_count() > 0, "cannot save an empty ServerModel");
+  // Header row: format, chip id, betas, geometry. Data rows: one per PUF.
+  CsvWriter csv(path, {kFormatVersion, std::to_string(model.chip_id()),
+                       format_double(model.betas().beta0),
+                       format_double(model.betas().beta1),
+                       std::to_string(model.puf_count()),
+                       std::to_string(model.stages())});
+  for (std::size_t p = 0; p < model.puf_count(); ++p) {
+    const PufEnrollment& e = model.puf(p);
+    std::vector<std::string> row;
+    row.push_back(std::to_string(p));
+    row.push_back(format_double(e.thresholds.thr0));
+    row.push_back(format_double(e.thresholds.thr1));
+    row.push_back(format_double(e.train_r_squared));
+    row.push_back(format_double(e.fit_time_ms));
+    for (double w : e.model.weights()) row.push_back(format_double(w));
+    csv.write_row(row);
+  }
+}
+
+ServerModel load_server_model(const std::string& path) {
+  const CsvData data = read_csv(path);
+  if (data.header.size() != 6 || data.header[0] != kFormatVersion)
+    throw ParseError("not a " + std::string(kFormatVersion) + " file: " + path);
+  const auto chip_id = static_cast<std::size_t>(parse_double(data.header[1], "chip id"));
+  BetaFactors betas;
+  betas.beta0 = parse_double(data.header[2], "beta0");
+  betas.beta1 = parse_double(data.header[3], "beta1");
+  const auto puf_count =
+      static_cast<std::size_t>(parse_double(data.header[4], "puf count"));
+  const auto stages = static_cast<std::size_t>(parse_double(data.header[5], "stages"));
+  if (data.rows.size() != puf_count)
+    throw ParseError("server-model file: expected " + std::to_string(puf_count) +
+                     " PUF rows, found " + std::to_string(data.rows.size()));
+
+  std::vector<PufEnrollment> pufs;
+  pufs.reserve(puf_count);
+  for (std::size_t p = 0; p < puf_count; ++p) {
+    const auto& row = data.rows[p];
+    const std::size_t expected_cells = 5 + stages + 1;
+    if (row.size() != expected_cells)
+      throw ParseError("server-model file: PUF row " + std::to_string(p) + " has " +
+                       std::to_string(row.size()) + " cells, expected " +
+                       std::to_string(expected_cells));
+    const auto index = static_cast<std::size_t>(parse_double(row[0], "puf index"));
+    if (index != p) throw ParseError("server-model file: PUF rows out of order");
+    PufEnrollment e;
+    e.thresholds.thr0 = parse_double(row[1], "thr0");
+    e.thresholds.thr1 = parse_double(row[2], "thr1");
+    e.train_r_squared = parse_double(row[3], "r_squared");
+    e.fit_time_ms = parse_double(row[4], "fit_time_ms");
+    linalg::Vector w(stages + 1);
+    for (std::size_t i = 0; i < stages + 1; ++i)
+      w[i] = parse_double(row[5 + i], "weight");
+    e.model = ArbiterPufModel(std::move(w));
+    pufs.push_back(std::move(e));
+  }
+  ServerModel model(chip_id, std::move(pufs));
+  model.set_betas(betas);
+  return model;
+}
+
+}  // namespace xpuf::puf

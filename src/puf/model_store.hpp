@@ -1,0 +1,24 @@
+// Persistence of the server-side enrollment database.
+//
+// The paper's protocol stores per-PUF delay parameters and thresholds "in
+// the server database" (Sec 3, refs [4, 6-7]). This module serializes a
+// ServerModel to a self-describing CSV file (one row per PUF: weights,
+// thresholds, fit stats; one header row carrying chip id and betas) and
+// loads it back bit-exactly, so enrollment and authentication can run in
+// different processes — as they would in a real deployment.
+#pragma once
+
+#include <string>
+
+#include "puf/enrollment.hpp"
+
+namespace xpuf::puf {
+
+/// Writes the model to `path`. Overwrites. Throws ParseError on I/O error.
+void save_server_model(const ServerModel& model, const std::string& path);
+
+/// Loads a model previously written by save_server_model. Validates the
+/// format version and shape; throws ParseError on any mismatch.
+ServerModel load_server_model(const std::string& path);
+
+}  // namespace xpuf::puf

@@ -1,0 +1,103 @@
+#include "puf/selection.hpp"
+
+#include "common/error.hpp"
+
+namespace xpuf::puf {
+
+ModelBasedSelector::ModelBasedSelector(const ServerModel& model, std::size_t n_pufs)
+    : model_(&model), n_pufs_(n_pufs) {
+  XPUF_REQUIRE(n_pufs >= 1 && n_pufs <= model.puf_count(),
+               "selector n_pufs out of range");
+}
+
+SelectionResult ModelBasedSelector::select(std::size_t count, Rng& rng,
+                                           std::size_t max_attempts) const {
+  SelectionResult result;
+  const std::size_t stages = model_->stages();
+  while (result.challenges.size() < count && result.candidates_tried < max_attempts) {
+    Challenge c = random_challenge(stages, rng);
+    ++result.candidates_tried;
+    if (model_->all_stable(c, n_pufs_)) {
+      result.expected_responses.push_back(model_->predict_xor(c, n_pufs_));
+      result.challenges.push_back(std::move(c));
+    }
+  }
+  result.filled = result.challenges.size() >= count;
+  return result;
+}
+
+SelectionResult ModelBasedSelector::filter(const std::vector<Challenge>& candidates) const {
+  SelectionResult result;
+  result.candidates_tried = candidates.size();
+  for (const auto& c : candidates) {
+    if (model_->all_stable(c, n_pufs_)) {
+      result.challenges.push_back(c);
+      result.expected_responses.push_back(model_->predict_xor(c, n_pufs_));
+    }
+  }
+  result.filled = true;
+  return result;
+}
+
+MeasurementBasedSelector::MeasurementBasedSelector(const sim::XorPufChip& chip,
+                                                   sim::Environment env,
+                                                   std::uint64_t trials,
+                                                   std::size_t n_pufs)
+    : chip_(&chip), env_(env), trials_(trials), n_pufs_(n_pufs) {
+  XPUF_REQUIRE(n_pufs >= 1 && n_pufs <= chip.puf_count(), "selector n_pufs out of range");
+  XPUF_REQUIRE(trials > 0, "measurement-based selection needs trials > 0");
+}
+
+SelectionResult MeasurementBasedSelector::select(std::size_t count, Rng& rng,
+                                                 std::size_t max_attempts) const {
+  SelectionResult result;
+  const std::size_t stages = chip_->stages();
+  while (result.challenges.size() < count && result.candidates_tried < max_attempts) {
+    Challenge c = random_challenge(stages, rng);
+    ++result.candidates_tried;
+    bool all_stable = true;
+    bool xor_response = false;
+    for (std::size_t p = 0; p < n_pufs_; ++p) {
+      const sim::SoftMeasurement m =
+          chip_->measure_soft_response(p, c, env_, trials_, rng);
+      if (!m.fully_stable()) {
+        all_stable = false;
+        break;
+      }
+      xor_response ^= m.ones == m.trials;
+    }
+    if (all_stable) {
+      result.challenges.push_back(std::move(c));
+      result.expected_responses.push_back(xor_response);
+    }
+  }
+  result.filled = result.challenges.size() >= count;
+  return result;
+}
+
+SelectionResult MeasurementBasedSelector::filter(const std::vector<Challenge>& candidates,
+                                                 Rng& rng) const {
+  SelectionResult result;
+  result.candidates_tried = candidates.size();
+  for (const auto& c : candidates) {
+    bool all_stable = true;
+    bool xor_response = false;
+    for (std::size_t p = 0; p < n_pufs_; ++p) {
+      const sim::SoftMeasurement m =
+          chip_->measure_soft_response(p, c, env_, trials_, rng);
+      if (!m.fully_stable()) {
+        all_stable = false;
+        break;
+      }
+      xor_response ^= m.ones == m.trials;
+    }
+    if (all_stable) {
+      result.challenges.push_back(c);
+      result.expected_responses.push_back(xor_response);
+    }
+  }
+  result.filled = true;
+  return result;
+}
+
+}  // namespace xpuf::puf

@@ -1,0 +1,66 @@
+#include "puf/stabilization.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace xpuf::puf {
+
+bool majority_vote_response(const sim::XorPufChip& chip, const sim::Challenge& challenge,
+                            const sim::Environment& env, const MajorityVoteConfig& config,
+                            Rng& rng) {
+  XPUF_REQUIRE(config.votes >= 1 && config.votes % 2 == 1,
+               "majority voting needs an odd, positive vote count");
+  std::uint64_t ones = 0;
+  for (std::uint64_t v = 0; v < config.votes; ++v)
+    if (chip.xor_response(challenge, env, rng)) ++ones;
+  return 2 * ones > config.votes;
+}
+
+double majority_vote_error(double p, std::uint64_t votes) {
+  XPUF_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  XPUF_REQUIRE(votes >= 1 && votes % 2 == 1, "vote count must be odd and positive");
+  // The "intended" bit is round(p); an error is a majority of the minority
+  // side. By symmetry work with q = min(p, 1-p): error = P[Bin(k, q) > k/2].
+  const double q = p < 0.5 ? p : 1.0 - p;
+  if (q == 0.0) return 0.0;
+  // Exact tail via the pmf recurrence.
+  double pmf = std::pow(1.0 - q, static_cast<double>(votes));
+  double cdf = pmf;
+  double error = 0.0;
+  const double odds = q / (1.0 - q);
+  const std::uint64_t half = votes / 2;  // majority needs > half
+  for (std::uint64_t k = 0; k < votes; ++k) {
+    pmf *= static_cast<double>(votes - k) / static_cast<double>(k + 1) * odds;
+    if (k + 1 > half) error += pmf;
+    cdf += pmf;
+  }
+  (void)cdf;
+  return error;
+}
+
+StabilizationComparison compare_majority_vote(const sim::XorPufChip& chip,
+                                              std::size_t n_challenges,
+                                              const sim::Environment& env,
+                                              const MajorityVoteConfig& config, Rng& rng) {
+  XPUF_REQUIRE(n_challenges > 0, "comparison needs challenges");
+  StabilizationComparison out;
+  out.votes = config.votes;
+  std::size_t one_shot_errors = 0, voted_errors = 0;
+  for (std::size_t i = 0; i < n_challenges; ++i) {
+    const auto c = sim::random_challenge(chip.stages(), rng);
+    // Noise-free reference via the analysis taps.
+    bool reference = false;
+    for (std::size_t p = 0; p < chip.puf_count(); ++p)
+      reference ^= chip.device_for_analysis(p).delay_difference(c, env) > 0.0;
+    if (chip.xor_response(c, env, rng) != reference) ++one_shot_errors;
+    if (majority_vote_response(chip, c, env, config, rng) != reference) ++voted_errors;
+  }
+  out.one_shot_error =
+      static_cast<double>(one_shot_errors) / static_cast<double>(n_challenges);
+  out.voted_error =
+      static_cast<double>(voted_errors) / static_cast<double>(n_challenges);
+  return out;
+}
+
+}  // namespace xpuf::puf

@@ -1,0 +1,47 @@
+// Temporal majority voting (TMV) — the classic response stabilizer the
+// paper's challenge-selection scheme competes with.
+//
+// Instead of avoiding unstable CRPs, TMV evaluates every CRP k times and
+// takes the majority. It reduces the error rate of *mildly* unstable CRPs
+// polynomially in k but cannot fix near-0.5 soft responses (majority of a
+// fair coin stays fair), and it multiplies authentication latency by k.
+// The test suite and abl2 discussion quantify both limits against the
+// paper's selection approach.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/chip.hpp"
+
+namespace xpuf::puf {
+
+struct MajorityVoteConfig {
+  /// Votes per response bit; odd so ties cannot happen.
+  std::uint64_t votes = 11;
+};
+
+/// Majority-voted XOR response of a chip (k noisy evaluations).
+bool majority_vote_response(const sim::XorPufChip& chip, const sim::Challenge& challenge,
+                            const sim::Environment& env, const MajorityVoteConfig& config,
+                            Rng& rng);
+
+/// Theoretical error rate of k-vote majority for a bit whose single-read
+/// one-probability is p (error = majority lands on the minority side of
+/// round(p)). Exact binomial-tail computation.
+double majority_vote_error(double p, std::uint64_t votes);
+
+/// Empirical one-shot vs majority-vote error of the XOR output against the
+/// noise-free reference, over random challenges. Returns {one_shot, voted}.
+struct StabilizationComparison {
+  double one_shot_error = 0.0;
+  double voted_error = 0.0;
+  std::uint64_t votes = 0;
+};
+
+StabilizationComparison compare_majority_vote(const sim::XorPufChip& chip,
+                                              std::size_t n_challenges,
+                                              const sim::Environment& env,
+                                              const MajorityVoteConfig& config, Rng& rng);
+
+}  // namespace xpuf::puf

@@ -1,0 +1,141 @@
+#include "puf/threshold_adjust.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace xpuf::puf {
+
+namespace {
+
+/// Per-PUF flattened evaluation data: model predictions paired with measured
+/// soft responses, concatenated over every block/corner.
+struct PufEvalData {
+  std::vector<double> predicted;
+  std::vector<double> measured;
+};
+
+std::vector<PufEvalData> flatten(const ServerModel& model,
+                                 const std::vector<EvaluationBlock>& blocks) {
+  std::vector<PufEvalData> data(model.puf_count());
+  for (const auto& block : blocks) {
+    XPUF_REQUIRE(block.soft.size() == model.puf_count(),
+                 "evaluation block PUF count mismatch");
+    for (std::size_t p = 0; p < model.puf_count(); ++p) {
+      XPUF_REQUIRE(block.soft[p].size() == block.challenges.size(),
+                   "evaluation block row length mismatch");
+      for (std::size_t c = 0; c < block.challenges.size(); ++c) {
+        data[p].predicted.push_back(model.predict_soft(p, block.challenges[c]));
+        data[p].measured.push_back(block.soft[p][c]);
+      }
+    }
+  }
+  return data;
+}
+
+/// A measured soft response disqualifies a stable-'0' selection when it is
+/// not exactly 0.00 (strict mode) or when it is strictly between the bins
+/// (stability-only mode).
+bool bad_for_zero(double soft, bool strict) { return strict ? soft != 0.0 : soft > 0.0 && soft < 1.0; }
+bool bad_for_one(double soft, bool strict) { return strict ? soft != 1.0 : soft > 0.0 && soft < 1.0; }
+
+std::size_t count_violations(const ServerModel& model, const std::vector<PufEvalData>& data,
+                             const BetaFactors& betas, bool strict) {
+  std::size_t violations = 0;
+  for (std::size_t p = 0; p < data.size(); ++p) {
+    const ThresholdPair thr = tighten(model.puf(p).thresholds, betas);
+    for (std::size_t i = 0; i < data[p].predicted.size(); ++i) {
+      const double pred = data[p].predicted[i];
+      const double soft = data[p].measured[i];
+      if (pred < thr.thr0 && bad_for_zero(soft, strict)) ++violations;
+      else if (pred > thr.thr1 && bad_for_one(soft, strict)) ++violations;
+    }
+  }
+  return violations;
+}
+
+std::size_t count_side0(const ServerModel& model, const std::vector<PufEvalData>& data,
+                        double beta0, bool strict) {
+  std::size_t violations = 0;
+  for (std::size_t p = 0; p < data.size(); ++p) {
+    const ThresholdPair thr =
+        tighten(model.puf(p).thresholds, BetaFactors{beta0, 1.0});
+    for (std::size_t i = 0; i < data[p].predicted.size(); ++i)
+      if (data[p].predicted[i] < thr.thr0 && bad_for_zero(data[p].measured[i], strict))
+        ++violations;
+  }
+  return violations;
+}
+
+std::size_t count_side1(const ServerModel& model, const std::vector<PufEvalData>& data,
+                        double beta1, bool strict) {
+  std::size_t violations = 0;
+  for (std::size_t p = 0; p < data.size(); ++p) {
+    const ThresholdPair thr =
+        tighten(model.puf(p).thresholds, BetaFactors{1.0, beta1});
+    for (std::size_t i = 0; i < data[p].predicted.size(); ++i)
+      if (data[p].predicted[i] > thr.thr1 && bad_for_one(data[p].measured[i], strict))
+        ++violations;
+  }
+  return violations;
+}
+
+}  // namespace
+
+BetaSearchResult find_betas(const ServerModel& model,
+                            const std::vector<EvaluationBlock>& blocks,
+                            const BetaSearchConfig& config) {
+  XPUF_REQUIRE(!blocks.empty(), "beta search needs at least one evaluation block");
+  XPUF_REQUIRE(config.step > 0.0, "beta search step must be positive");
+  const bool strict = config.require_correct_value;
+  const std::vector<PufEvalData> data = flatten(model, blocks);
+
+  BetaSearchResult result;
+  result.violations_before = count_violations(model, data, BetaFactors{1.0, 1.0}, strict);
+
+  // The two sides are independent: beta0 only moves the stable-'0' boundary
+  // and beta1 the stable-'1' boundary, so each is stepped separately, from
+  // 1.00 toward stringency, exactly as the paper describes.
+  double beta0 = 1.0;
+  while (count_side0(model, data, beta0, strict) > 0 &&
+         beta0 - config.step >= config.min_beta0)
+    beta0 -= config.step;
+
+  double beta1 = 1.0;
+  while (count_side1(model, data, beta1, strict) > 0 &&
+         beta1 + config.step <= config.max_beta1)
+    beta1 += config.step;
+
+  result.betas = BetaFactors{beta0, beta1};
+  result.violations_after = count_violations(model, data, result.betas, strict);
+  result.converged = result.violations_after == 0;
+  return result;
+}
+
+BetaFactors conservative_betas(const std::vector<BetaFactors>& per_chip) {
+  XPUF_REQUIRE(!per_chip.empty(), "conservative_betas over an empty set");
+  BetaFactors out{1.0, 1.0};
+  for (const auto& b : per_chip) {
+    out.beta0 = std::min(out.beta0, b.beta0);
+    out.beta1 = std::max(out.beta1, b.beta1);
+  }
+  return out;
+}
+
+EvaluationBlock measure_evaluation_block(const sim::XorPufChip& chip,
+                                         const std::vector<Challenge>& challenges,
+                                         const sim::Environment& env,
+                                         std::uint64_t trials, Rng& rng) {
+  EvaluationBlock block;
+  block.challenges = challenges;
+  block.environment = env;
+  block.soft.assign(chip.puf_count(), std::vector<double>(challenges.size(), 0.0));
+  for (std::size_t p = 0; p < chip.puf_count(); ++p)
+    for (std::size_t c = 0; c < challenges.size(); ++c)
+      block.soft[p][c] =
+          chip.measure_soft_response(p, challenges[c], env, trials, rng).soft_response();
+  return block;
+}
+
+}  // namespace xpuf::puf

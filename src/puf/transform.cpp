@@ -1,0 +1,57 @@
+#include "puf/transform.hpp"
+
+#include "common/error.hpp"
+
+namespace xpuf::puf {
+
+void feature_vector_into(const Challenge& challenge, double* out) {
+  const std::size_t k = challenge.size();
+  // Suffix products: phi_k = 1 - 2 c_k, phi_i = (1 - 2 c_i) * phi_{i+1}.
+  double acc = 1.0;
+  out[k] = 1.0;
+  for (std::size_t ii = k; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    acc *= challenge[i] ? -1.0 : 1.0;
+    out[i] = acc;
+  }
+}
+
+linalg::Vector feature_vector(const Challenge& challenge) {
+  XPUF_REQUIRE(!challenge.empty(), "feature_vector of an empty challenge");
+  linalg::Vector phi(challenge.size() + 1);
+  feature_vector_into(challenge, phi.data());
+  return phi;
+}
+
+linalg::Matrix feature_matrix(const std::vector<Challenge>& challenges) {
+  XPUF_REQUIRE(!challenges.empty(), "feature_matrix of an empty batch");
+  const std::size_t k = challenges.front().size();
+  linalg::Matrix m(challenges.size(), k + 1);
+  for (std::size_t r = 0; r < challenges.size(); ++r) {
+    XPUF_REQUIRE(challenges[r].size() == k, "mixed challenge lengths in batch");
+    feature_vector_into(challenges[r], m.row(r));
+  }
+  return m;
+}
+
+Challenge challenge_from_features(const linalg::Vector& phi) {
+  XPUF_REQUIRE(phi.size() >= 2, "feature vector too short");
+  XPUF_REQUIRE(phi[phi.size() - 1] == 1.0, "feature vector must end in the constant 1");
+  const std::size_t k = phi.size() - 1;
+  Challenge c(k);
+  // c_i = 0 iff phi_i == phi_{i+1} (the suffix product keeps its sign).
+  for (std::size_t i = 0; i < k; ++i) {
+    XPUF_REQUIRE(phi[i] == 1.0 || phi[i] == -1.0, "feature entries must be +/-1");
+    c[i] = (phi[i] == phi[i + 1]) ? 0 : 1;
+  }
+  return c;
+}
+
+std::vector<Challenge> random_challenges(std::size_t stages, std::size_t count, Rng& rng) {
+  std::vector<Challenge> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(random_challenge(stages, rng));
+  return out;
+}
+
+}  // namespace xpuf::puf

@@ -1,0 +1,39 @@
+#include "sim/environment.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace xpuf::sim {
+
+std::string Environment::label() const {
+  std::ostringstream os;
+  os << voltage << "V/" << temperature << "C";
+  return os.str();
+}
+
+std::vector<Environment> paper_corner_grid() {
+  std::vector<Environment> grid;
+  for (double v : {0.8, 0.9, 1.0})
+    for (double t : {0.0, 25.0, 60.0}) grid.push_back({v, t});
+  return grid;
+}
+
+namespace {
+double dv(const Environment& e) { return e.voltage - 0.9; }
+double dt(const Environment& e) { return (e.temperature - 25.0) / 100.0; }
+}  // namespace
+
+double EnvironmentModel::delay_scale(const Environment& e) const {
+  const double s = 1.0 + scale_voltage * dv(e) + scale_temperature * dt(e);
+  return s < 0.1 ? 0.1 : s;
+}
+
+double EnvironmentModel::sensitivity_shift(const Environment& e) const {
+  return shift_voltage * dv(e) + shift_temperature * dt(e);
+}
+
+double EnvironmentModel::noise_scale(const Environment& e) const {
+  return 1.0 + noise_voltage * std::fabs(dv(e)) + noise_temperature * std::fabs(dt(e));
+}
+
+}  // namespace xpuf::sim

@@ -1,0 +1,94 @@
+#include "sim/feedforward.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace xpuf::sim {
+
+FeedForwardArbiterDevice::FeedForwardArbiterDevice(const DeviceParameters& params,
+                                                   const EnvironmentModel& env_model,
+                                                   std::vector<FeedForwardLoop> loops,
+                                                   Rng& rng)
+    : params_(params), env_model_(env_model), loops_(std::move(loops)) {
+  XPUF_REQUIRE(params.stages > 0, "a PUF needs at least one stage");
+  for (const auto& loop : loops_) {
+    XPUF_REQUIRE(loop.tap_stage < loop.target_stage,
+                 "feed-forward tap must precede its target");
+    XPUF_REQUIRE(loop.target_stage < params.stages,
+                 "feed-forward target beyond last stage");
+  }
+  for (std::size_t i = 0; i < loops_.size(); ++i)
+    for (std::size_t j = i + 1; j < loops_.size(); ++j)
+      XPUF_REQUIRE(loops_[i].target_stage != loops_[j].target_stage,
+                   "two loops driving the same stage");
+  stage_delays_.resize(params.stages);
+  // Same draw order as ArbiterPufDevice so equal seeds fabricate matching
+  // silicon (loop-free feed-forward devices must equal linear ones).
+  for (auto& s : stage_delays_) {
+    s.straight = rng.normal(0.0, params.sigma_process);
+    s.crossed = rng.normal(0.0, params.sigma_process);
+    s.straight_sensitivity = rng.normal(0.0, params.sigma_sensitivity);
+    s.crossed_sensitivity = rng.normal(0.0, params.sigma_sensitivity);
+    s.straight_aging = rng.normal(0.0, params.sigma_aging);
+    s.crossed_aging = rng.normal(0.0, params.sigma_aging);
+  }
+}
+
+double FeedForwardArbiterDevice::race(const Challenge& challenge, const Environment& env,
+                                      Rng* noise_rng) const {
+  XPUF_REQUIRE(challenge.size() == stages(), "challenge length != stage count");
+  const double scale = env_model_.delay_scale(env);
+  const double shift = env_model_.sensitivity_shift(env);
+  const double sigma = params_.sigma_noise * env_model_.noise_scale(env);
+
+  // Select overrides computed by intermediate arbiters as the race passes
+  // their tap stages. Map target stage -> forced select bit.
+  std::vector<int> forced(stages(), -1);
+
+  double delta = 0.0;
+  for (std::size_t i = 0; i < stages(); ++i) {
+    const bool select = forced[i] >= 0 ? forced[i] != 0 : challenge[i] != 0;
+    const StageDelays& s = stage_delays_[i];
+    if (!select) {
+      delta += s.straight * scale + s.straight_sensitivity * shift;
+    } else {
+      delta = -delta + s.crossed * scale + s.crossed_sensitivity * shift;
+    }
+    // Fire any intermediate arbiter tapping this stage.
+    for (const auto& loop : loops_) {
+      if (loop.tap_stage != i) continue;
+      double observed = delta;
+      if (noise_rng != nullptr) observed += noise_rng->normal(0.0, sigma);
+      forced[loop.target_stage] = observed > 0.0 ? 1 : 0;
+    }
+  }
+  return delta;
+}
+
+double FeedForwardArbiterDevice::delay_difference(const Challenge& challenge,
+                                                  const Environment& env) const {
+  return race(challenge, env, nullptr);
+}
+
+bool FeedForwardArbiterDevice::evaluate(const Challenge& challenge, const Environment& env,
+                                        Rng& rng) const {
+  const double delta = race(challenge, env, &rng);
+  const double sigma = params_.sigma_noise * env_model_.noise_scale(env);
+  return delta + rng.normal(0.0, sigma) > 0.0;
+}
+
+SoftMeasurement FeedForwardArbiterDevice::measure_soft_response(const Challenge& challenge,
+                                                                const Environment& env,
+                                                                std::uint64_t trials,
+                                                                Rng& rng) const {
+  XPUF_REQUIRE(trials > 0, "soft-response measurement needs at least one trial");
+  // Intermediate arbiters make per-trial outcomes non-i.i.d. in closed form,
+  // so sample honestly (no binomial shortcut here).
+  std::uint64_t ones = 0;
+  for (std::uint64_t t = 0; t < trials; ++t)
+    if (evaluate(challenge, env, rng)) ++ones;
+  return {ones, trials};
+}
+
+}  // namespace xpuf::sim

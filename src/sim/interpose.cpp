@@ -1,0 +1,76 @@
+#include "sim/interpose.hpp"
+
+#include "common/error.hpp"
+
+namespace xpuf::sim {
+
+InterposePuf::InterposePuf(const InterposeConfig& config, const DeviceParameters& params,
+                           const EnvironmentModel& env_model, Rng& rng)
+    : config_(config) {
+  XPUF_REQUIRE(config.upper_pufs >= 1 && config.lower_pufs >= 1,
+               "interpose PUF needs at least one PUF per layer");
+  XPUF_REQUIRE(config.stages >= 1, "interpose PUF needs at least one stage");
+  XPUF_REQUIRE(config.interpose_position <= config.stages,
+               "interpose position beyond the lower challenge");
+  DeviceParameters upper_params = params;
+  upper_params.stages = config.stages;
+  DeviceParameters lower_params = params;
+  lower_params.stages = config.stages + 1;  // room for the interposed bit
+  for (std::size_t i = 0; i < config.upper_pufs; ++i)
+    upper_.emplace_back(upper_params, env_model, rng);
+  for (std::size_t i = 0; i < config.lower_pufs; ++i)
+    lower_.emplace_back(lower_params, env_model, rng);
+}
+
+bool InterposePuf::upper_bit(const Challenge& challenge, const Environment& env,
+                             Rng* rng) const {
+  bool bit = false;
+  for (const auto& d : upper_) {
+    if (rng != nullptr) bit ^= d.evaluate(challenge, env, *rng);
+    else bit ^= d.delay_difference(challenge, env) > 0.0;
+  }
+  return bit;
+}
+
+bool InterposePuf::lower_bit(const Challenge& challenge, bool interposed,
+                             const Environment& env, Rng* rng) const {
+  Challenge extended;
+  extended.reserve(challenge.size() + 1);
+  extended.insert(extended.end(), challenge.begin(),
+                  challenge.begin() + static_cast<std::ptrdiff_t>(config_.interpose_position));
+  extended.push_back(interposed ? 1 : 0);
+  extended.insert(extended.end(),
+                  challenge.begin() + static_cast<std::ptrdiff_t>(config_.interpose_position),
+                  challenge.end());
+  bool bit = false;
+  for (const auto& d : lower_) {
+    if (rng != nullptr) bit ^= d.evaluate(extended, env, *rng);
+    else bit ^= d.delay_difference(extended, env) > 0.0;
+  }
+  return bit;
+}
+
+bool InterposePuf::evaluate(const Challenge& challenge, const Environment& env,
+                            Rng& rng) const {
+  XPUF_REQUIRE(challenge.size() == config_.stages, "challenge length mismatch");
+  return lower_bit(challenge, upper_bit(challenge, env, &rng), env, &rng);
+}
+
+bool InterposePuf::response(const Challenge& challenge, const Environment& env) const {
+  XPUF_REQUIRE(challenge.size() == config_.stages, "challenge length mismatch");
+  return lower_bit(challenge, upper_bit(challenge, env, nullptr), env, nullptr);
+}
+
+SoftMeasurement InterposePuf::measure_soft_response(const Challenge& challenge,
+                                                    const Environment& env,
+                                                    std::uint64_t trials,
+                                                    Rng& rng) const {
+  XPUF_REQUIRE(trials > 0, "soft-response measurement needs at least one trial");
+  // The interposed bit couples the layers, so trials are sampled honestly.
+  std::uint64_t ones = 0;
+  for (std::uint64_t t = 0; t < trials; ++t)
+    if (evaluate(challenge, env, rng)) ++ones;
+  return {ones, trials};
+}
+
+}  // namespace xpuf::sim

@@ -1,0 +1,62 @@
+// Interpose PUF (iPUF) — a post-paper construction (Nguyen et al., 2019)
+// included as the natural "future work" comparison point: the response of
+// an upper x-XOR PUF is *interposed* as an extra challenge bit into the
+// middle of a lower y-XOR PUF's challenge. This breaks the pure-XOR
+// structure that both the MLP-on-parity-features attack and the LR product
+// model assume, at roughly the hardware cost of an (x+y)-XOR.
+//
+// Included to let the benches/tests contrast its stability with a plain
+// (x+y)-XOR: the interposed bit inherits the upper PUF's noise, so iPUF
+// stability sits close to the (x+y)-XOR while its modeling resistance is
+// structurally higher.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/chip.hpp"
+
+namespace xpuf::sim {
+
+struct InterposeConfig {
+  std::size_t upper_pufs = 1;   ///< x: XOR width of the upper layer
+  std::size_t lower_pufs = 1;   ///< y: XOR width of the lower layer
+  std::size_t stages = 32;      ///< challenge length of the upper layer
+  /// Interpose position in the lower challenge (default: middle, the
+  /// hardest spot for divide-and-conquer attacks). The lower PUFs have
+  /// stages + 1 stages.
+  std::size_t interpose_position = 16;
+};
+
+class InterposePuf {
+ public:
+  InterposePuf(const InterposeConfig& config, const DeviceParameters& params,
+               const EnvironmentModel& env_model, Rng& rng);
+
+  std::size_t stages() const { return config_.stages; }
+  const InterposeConfig& config() const { return config_; }
+
+  /// One noisy evaluation: upper layer first, its bit spliced into the
+  /// lower challenge at the interpose position.
+  bool evaluate(const Challenge& challenge, const Environment& env, Rng& rng) const;
+
+  /// Noise-free response (upper bit decided by the noise-free upper delay).
+  bool response(const Challenge& challenge, const Environment& env) const;
+
+  /// Counter statistic over repeated noisy evaluations.
+  SoftMeasurement measure_soft_response(const Challenge& challenge,
+                                        const Environment& env, std::uint64_t trials,
+                                        Rng& rng) const;
+
+ private:
+  InterposeConfig config_;
+  std::vector<ArbiterPufDevice> upper_;
+  std::vector<ArbiterPufDevice> lower_;
+
+  bool upper_bit(const Challenge& challenge, const Environment& env, Rng* rng) const;
+  bool lower_bit(const Challenge& challenge, bool interposed, const Environment& env,
+                 Rng* rng) const;
+};
+
+}  // namespace xpuf::sim

@@ -1,0 +1,31 @@
+#include "sim/population.hpp"
+
+#include "common/error.hpp"
+
+namespace xpuf::sim {
+
+ChipPopulation::ChipPopulation(const PopulationConfig& config) : config_(config) {
+  XPUF_REQUIRE(config.n_chips > 0, "population needs at least one chip");
+  Rng fab_rng(config.seed);
+  chips_.reserve(config.n_chips);
+  for (std::size_t i = 0; i < config.n_chips; ++i)
+    chips_.emplace_back(i, config.n_pufs_per_chip, config.device, config.environment,
+                        fab_rng);
+}
+
+XorPufChip& ChipPopulation::chip(std::size_t i) {
+  XPUF_REQUIRE(i < chips_.size(), "chip index out of range");
+  return chips_[i];
+}
+
+const XorPufChip& ChipPopulation::chip(std::size_t i) const {
+  XPUF_REQUIRE(i < chips_.size(), "chip index out of range");
+  return chips_[i];
+}
+
+Rng ChipPopulation::measurement_rng() const {
+  // Offset the seed so measurement noise never replays fabrication draws.
+  return Rng(config_.seed ^ 0xa5a5a5a5deadbeefULL);
+}
+
+}  // namespace xpuf::sim

@@ -1,0 +1,42 @@
+// A fab lot of simulated XOR PUF chips (the paper tests 10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/chip.hpp"
+
+namespace xpuf::sim {
+
+struct PopulationConfig {
+  std::size_t n_chips = 10;
+  std::size_t n_pufs_per_chip = 10;  ///< enough parallel PUFs for n up to 10
+  DeviceParameters device;
+  EnvironmentModel environment;
+  std::uint64_t seed = 2017;
+};
+
+/// Owns the chips of one lot; chips are i.i.d. process draws from the same
+/// device parameters, which reproduces the chip-to-chip spread the paper
+/// reports through per-chip beta ranges.
+class ChipPopulation {
+ public:
+  explicit ChipPopulation(const PopulationConfig& config);
+
+  std::size_t size() const { return chips_.size(); }
+  XorPufChip& chip(std::size_t i);
+  const XorPufChip& chip(std::size_t i) const;
+
+  const PopulationConfig& config() const { return config_; }
+
+  /// A fresh RNG stream derived from the lot seed, for measurement noise
+  /// (keeps fabrication and measurement randomness decoupled).
+  Rng measurement_rng() const;
+
+ private:
+  PopulationConfig config_;
+  std::vector<XorPufChip> chips_;
+};
+
+}  // namespace xpuf::sim

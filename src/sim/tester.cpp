@@ -1,0 +1,66 @@
+#include "sim/tester.hpp"
+
+#include "common/error.hpp"
+
+namespace xpuf::sim {
+
+ChipTester::ChipTester(Environment env, std::uint64_t trials, Rng rng)
+    : env_(env), trials_(trials), rng_(rng) {
+  XPUF_REQUIRE(trials > 0, "ChipTester needs at least one trial per challenge");
+}
+
+std::vector<Challenge> ChipTester::random_challenges(const XorPufChip& chip,
+                                                     std::size_t count) {
+  std::vector<Challenge> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(random_challenge(chip.stages(), rng_));
+  return out;
+}
+
+ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
+                                         const std::vector<Challenge>& challenges) {
+  ChipSoftScan scan;
+  scan.challenges = challenges;
+  scan.trials = trials_;
+  scan.environment = env_;
+  scan.soft.assign(chip.puf_count(), std::vector<double>(challenges.size(), 0.0));
+  scan.stable.assign(chip.puf_count(), std::vector<bool>(challenges.size(), false));
+  for (std::size_t p = 0; p < chip.puf_count(); ++p) {
+    for (std::size_t c = 0; c < challenges.size(); ++c) {
+      const SoftMeasurement m =
+          chip.measure_soft_response(p, challenges[c], env_, trials_, rng_);
+      scan.soft[p][c] = m.soft_response();
+      scan.stable[p][c] = m.fully_stable();
+    }
+  }
+  return scan;
+}
+
+std::vector<SoftMeasurement> ChipTester::scan_single(const XorPufChip& chip,
+                                                     std::size_t puf_index,
+                                                     const std::vector<Challenge>& challenges) {
+  std::vector<SoftMeasurement> out;
+  out.reserve(challenges.size());
+  for (const auto& ch : challenges)
+    out.push_back(chip.measure_soft_response(puf_index, ch, env_, trials_, rng_));
+  return out;
+}
+
+std::vector<bool> ChipTester::sample_xor(const XorPufChip& chip,
+                                         const std::vector<Challenge>& challenges) {
+  std::vector<bool> out;
+  out.reserve(challenges.size());
+  for (const auto& ch : challenges) out.push_back(chip.xor_response(ch, env_, rng_));
+  return out;
+}
+
+std::vector<SoftMeasurement> ChipTester::scan_xor(const XorPufChip& chip,
+                                                  const std::vector<Challenge>& challenges) {
+  std::vector<SoftMeasurement> out;
+  out.reserve(challenges.size());
+  for (const auto& ch : challenges)
+    out.push_back(chip.measure_xor_soft_response(ch, env_, trials_, rng_));
+  return out;
+}
+
+}  // namespace xpuf::sim

@@ -1,0 +1,62 @@
+// Batch test harness — the simulated PXI + USB DAQ bench setup of Fig 2.
+//
+// Applies challenge lists to a chip at a programmable corner and collects
+// per-PUF soft responses through the fused taps (enrollment) or one-shot
+// XOR responses (authentication-side measurements).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/chip.hpp"
+
+namespace xpuf::sim {
+
+/// Per-challenge measurement of every individual PUF on a chip.
+struct ChipSoftScan {
+  std::vector<Challenge> challenges;
+  /// soft[p][c] = soft response of PUF p on challenge c.
+  std::vector<std::vector<double>> soft;
+  /// stable[p][c] = the counter saw zero flips.
+  std::vector<std::vector<bool>> stable;
+  std::uint64_t trials = 0;
+  Environment environment;
+};
+
+class ChipTester {
+ public:
+  /// `trials` is the per-challenge evaluation count K (paper: 100,000).
+  ChipTester(Environment env, std::uint64_t trials, Rng rng);
+
+  const Environment& environment() const { return env_; }
+  void set_environment(const Environment& env) { env_ = env; }
+  std::uint64_t trials() const { return trials_; }
+
+  /// Generates `count` uniformly random challenges for a chip's stage count.
+  std::vector<Challenge> random_challenges(const XorPufChip& chip, std::size_t count);
+
+  /// Measures soft responses of every individual PUF for every challenge.
+  /// Requires all enrollment fuses intact.
+  ChipSoftScan scan_individual(const XorPufChip& chip,
+                               const std::vector<Challenge>& challenges);
+
+  /// Measures soft responses of one individual PUF.
+  std::vector<SoftMeasurement> scan_single(const XorPufChip& chip, std::size_t puf_index,
+                                           const std::vector<Challenge>& challenges);
+
+  /// One-shot XOR responses (the deployed-chip view).
+  std::vector<bool> sample_xor(const XorPufChip& chip,
+                               const std::vector<Challenge>& challenges);
+
+  /// XOR soft responses over `trials` evaluations.
+  std::vector<SoftMeasurement> scan_xor(const XorPufChip& chip,
+                                        const std::vector<Challenge>& challenges);
+
+ private:
+  Environment env_;
+  std::uint64_t trials_;
+  Rng rng_;
+};
+
+}  // namespace xpuf::sim

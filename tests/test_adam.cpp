@@ -1,0 +1,81 @@
+// Tests for the Adam optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/adam.hpp"
+
+namespace xpuf::ml {
+namespace {
+
+using linalg::Vector;
+
+TEST(Adam, ValidatesConstruction) {
+  EXPECT_THROW(Adam(0), std::invalid_argument);
+  AdamOptions opts;
+  opts.learning_rate = 0.0;
+  EXPECT_THROW(Adam(3, opts), std::invalid_argument);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  AdamOptions opts;
+  opts.learning_rate = 0.05;
+  Adam adam(2, opts);
+  Vector x{4.0, -3.0};
+  Vector g(2);
+  for (int i = 0; i < 2000; ++i) {
+    g[0] = 2.0 * x[0];
+    g[1] = 2.0 * x[1];
+    adam.step(x, g);
+  }
+  EXPECT_NEAR(x[0], 0.0, 1e-3);
+  EXPECT_NEAR(x[1], 0.0, 1e-3);
+  EXPECT_EQ(adam.steps_taken(), 2000u);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, |first update| == learning_rate (for nonzero grad).
+  AdamOptions opts;
+  opts.learning_rate = 0.1;
+  Adam adam(1, opts);
+  Vector x{1.0};
+  Vector g{123.0};
+  adam.step(x, g);
+  EXPECT_NEAR(x[0], 1.0 - 0.1, 1e-6);
+}
+
+TEST(Adam, WeightDecayPullsTowardZero) {
+  AdamOptions opts;
+  opts.learning_rate = 0.01;
+  opts.weight_decay = 0.1;
+  Adam adam(1, opts);
+  Vector x{5.0};
+  Vector g{0.0};
+  for (int i = 0; i < 500; ++i) adam.step(x, g);
+  EXPECT_LT(std::fabs(x[0]), 5.0);
+}
+
+TEST(Adam, ValidatesDimensions) {
+  Adam adam(2);
+  Vector x(3);
+  Vector g(2);
+  EXPECT_THROW(adam.step(x, g), std::invalid_argument);
+  Vector x2(2);
+  Vector g2(3);
+  EXPECT_THROW(adam.step(x2, g2), std::invalid_argument);
+}
+
+TEST(Adam, HandlesSparseGradients) {
+  // Second moment accumulation must not explode with intermittent gradients.
+  Adam adam(1);
+  Vector x{1.0};
+  Vector g(1);
+  for (int i = 0; i < 100; ++i) {
+    g[0] = (i % 10 == 0) ? 2.0 * x[0] : 0.0;
+    adam.step(x, g);
+    ASSERT_TRUE(std::isfinite(x[0]));
+  }
+}
+
+}  // namespace
+}  // namespace xpuf::ml

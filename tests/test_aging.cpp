@@ -1,0 +1,131 @@
+// Tests for the BTI aging extension: drift accumulates irreversibly,
+// follows the power law, and degrades enrolled-model validity the way the
+// paper's Sec 1 concern ("temperature, voltage, and aging conditions")
+// anticipates — with re-enrollment as the recovery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "puf/authentication.hpp"
+#include "puf/threshold_adjust.hpp"
+#include "sim/population.hpp"
+
+namespace xpuf::sim {
+namespace {
+
+ArbiterPufDevice make_device(std::uint64_t seed) {
+  DeviceParameters params;
+  Rng rng(seed);
+  return ArbiterPufDevice(params, EnvironmentModel{}, rng);
+}
+
+TEST(Aging, FreshDeviceHasNoDrift) {
+  const auto d = make_device(1);
+  EXPECT_DOUBLE_EQ(d.stress_hours(), 0.0);
+}
+
+TEST(Aging, StressAccumulates) {
+  auto d = make_device(2);
+  d.age(100.0);
+  d.age(400.0);
+  EXPECT_DOUBLE_EQ(d.stress_hours(), 500.0);
+  EXPECT_THROW(d.age(-1.0), std::invalid_argument);
+}
+
+TEST(Aging, DriftShiftsDelays) {
+  auto d = make_device(3);
+  Rng crng(4);
+  const auto c = random_challenge(32, crng);
+  const auto env = Environment::nominal();
+  const double fresh = d.delay_difference(c, env);
+  d.age(10'000.0);
+  EXPECT_NE(d.delay_difference(c, env), fresh);
+}
+
+TEST(Aging, DriftFollowsThePowerLaw) {
+  // delta(t) - delta(0) scales as t^0.2: quadrupling a 10x stress gap
+  // changes the drift by 10^0.2.
+  auto d1 = make_device(5);
+  auto d2 = make_device(5);
+  Rng crng(6);
+  const auto c = random_challenge(32, crng);
+  const auto env = Environment::nominal();
+  const double base = d1.delay_difference(c, env);
+  d1.age(1'000.0);
+  d2.age(10'000.0);
+  const double drift1 = d1.delay_difference(c, env) - base;
+  const double drift2 = d2.delay_difference(c, env) - base;
+  ASSERT_NE(drift1, 0.0);
+  EXPECT_NEAR(drift2 / drift1, std::pow(10.0, 0.2), 1e-9);
+}
+
+TEST(Aging, ReducedWeightsTrackTheDrift) {
+  auto d = make_device(7);
+  Rng crng(8);
+  const auto env = Environment::nominal();
+  d.age(5'000.0);
+  const linalg::Vector w = d.reduced_weights(env);
+  for (int i = 0; i < 30; ++i) {
+    const auto c = random_challenge(32, crng);
+    EXPECT_NEAR(linalg::dot(w, puf::feature_vector(c)), d.delay_difference(c, env),
+                1e-10);
+  }
+}
+
+TEST(Aging, ChipAgesAllDevices) {
+  PopulationConfig cfg;
+  cfg.n_chips = 1;
+  cfg.n_pufs_per_chip = 3;
+  cfg.seed = 909;
+  ChipPopulation pop(cfg);
+  auto& chip = pop.chip(0);
+  chip.age(2'000.0);
+  EXPECT_DOUBLE_EQ(chip.stress_hours(), 2'000.0);
+  for (std::size_t p = 0; p < 3; ++p)
+    EXPECT_DOUBLE_EQ(chip.device_for_analysis(p).stress_hours(), 2'000.0);
+}
+
+TEST(Aging, HeavyAgingDegradesEnrolledModelButReEnrollmentRecovers) {
+  PopulationConfig cfg;
+  cfg.n_chips = 1;
+  cfg.n_pufs_per_chip = 4;
+  cfg.seed = 6060;
+  // Strong aging so the effect is visible at test scale.
+  cfg.device.sigma_aging = 0.6;
+  ChipPopulation pop(cfg);
+  auto& chip = pop.chip(0);
+  Rng rng(9);
+
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 2'000;
+  ecfg.trials = 2'000;
+  puf::ServerModel model = puf::Enroller(ecfg).enroll(chip, rng);
+  const auto eval = puf::random_challenges(chip.stages(), 1'500, rng);
+  const auto block = puf::measure_evaluation_block(chip, eval,
+                                                   sim::Environment::nominal(), 2'000, rng);
+  model.set_betas(puf::find_betas(model, {block}).betas);
+
+  puf::AuthenticationServer server(model, 4, {.challenge_count = 64});
+  const auto fresh = server.authenticate(chip, Environment::nominal(), rng);
+  EXPECT_TRUE(fresh.approved);
+
+  // A decade of stress: the frozen enrollment model starts missing.
+  chip.age(90'000.0);
+  std::size_t aged_mismatches = 0;
+  for (int i = 0; i < 5; ++i)
+    aged_mismatches += server.authenticate(chip, Environment::nominal(), rng).mismatches;
+  EXPECT_GT(aged_mismatches, 0u);
+
+  // Re-enrollment on the aged silicon restores zero-HD authentication.
+  puf::ServerModel refreshed = puf::Enroller(ecfg).enroll(chip, rng);
+  const auto block2 = puf::measure_evaluation_block(
+      chip, eval, sim::Environment::nominal(), 2'000, rng);
+  refreshed.set_betas(puf::find_betas(refreshed, {block2}).betas);
+  puf::AuthenticationServer server2(refreshed, 4, {.challenge_count = 64});
+  const auto recovered = server2.authenticate(chip, Environment::nominal(), rng);
+  EXPECT_TRUE(recovered.approved);
+  EXPECT_EQ(recovered.mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace xpuf::sim

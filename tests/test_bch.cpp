@@ -1,0 +1,161 @@
+// Tests for the binary BCH encoder/decoder.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "crypto/bch.hpp"
+
+namespace xpuf::crypto {
+namespace {
+
+Bits random_message(const BchCode& code, Rng& rng) {
+  Bits msg(code.k());
+  for (auto& b : msg) b = rng.bernoulli() ? 1 : 0;
+  return msg;
+}
+
+void flip_random_bits(Bits& word, std::size_t count, Rng& rng) {
+  std::vector<std::size_t> idx(word.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  rng.shuffle(idx);
+  for (std::size_t i = 0; i < count; ++i) word[idx[i]] ^= 1;
+}
+
+TEST(Bch, KnownParametersHamming15_11) {
+  // BCH(15, 11, t=1) is the Hamming code.
+  const BchCode code(4, 1);
+  EXPECT_EQ(code.n(), 15u);
+  EXPECT_EQ(code.k(), 11u);
+  // Generator x^4 + x + 1 (the primitive polynomial itself).
+  EXPECT_EQ(code.generator(), GFPoly({1, 1, 0, 0, 1}));
+}
+
+TEST(Bch, KnownParameters15_7_2and15_5_3) {
+  EXPECT_EQ(BchCode(4, 2).k(), 7u);
+  EXPECT_EQ(BchCode(4, 3).k(), 5u);
+}
+
+TEST(Bch, KnownParameters127Family) {
+  EXPECT_EQ(BchCode(7, 1).k(), 120u);
+  EXPECT_EQ(BchCode(7, 2).k(), 113u);
+  EXPECT_EQ(BchCode(7, 10).k(), 64u);
+}
+
+TEST(Bch, ConstructionValidates) {
+  EXPECT_THROW(BchCode(4, 0), std::invalid_argument);
+  EXPECT_THROW(BchCode(3, 4), std::invalid_argument);  // no message bits left
+  EXPECT_EQ(BchCode(3, 3).k(), 1u);  // the degenerate-but-valid repetition-like code
+}
+
+TEST(Bch, EncodeIsSystematic) {
+  const BchCode code(5, 2);
+  Rng rng(1);
+  const Bits msg = random_message(code, rng);
+  const Bits cw = code.encode(msg);
+  ASSERT_EQ(cw.size(), code.n());
+  for (std::size_t i = 0; i < code.k(); ++i)
+    EXPECT_EQ(cw[code.n() - code.k() + i], msg[i]);
+}
+
+TEST(Bch, EncodeValidatesInput) {
+  const BchCode code(4, 1);
+  EXPECT_THROW(code.encode(Bits(5)), std::invalid_argument);
+  Bits bad(code.k(), 0);
+  bad[0] = 2;
+  EXPECT_THROW(code.encode(bad), std::invalid_argument);
+  EXPECT_THROW(code.decode(Bits(3)), std::invalid_argument);
+}
+
+TEST(Bch, CodewordsHaveZeroSyndromes) {
+  // Every codeword decodes to itself with zero corrections.
+  const BchCode code(5, 3);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const Bits msg = random_message(code, rng);
+    const Bits cw = code.encode(msg);
+    const auto dec = code.decode(cw);
+    ASSERT_TRUE(dec.ok);
+    EXPECT_EQ(dec.errors_corrected, 0u);
+    EXPECT_EQ(dec.message, msg);
+  }
+}
+
+TEST(Bch, GeneratorDividesEveryCodeword) {
+  const BchCode code(4, 2);
+  const GF2m field(4);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const Bits msg = random_message(code, rng);
+    const Bits cw = code.encode(msg);
+    const GFPoly cw_poly(std::vector<std::uint32_t>(cw.begin(), cw.end()));
+    EXPECT_TRUE(cw_poly.mod(code.generator(), field).is_zero());
+  }
+}
+
+// Error-correction sweep: every error weight up to t corrects exactly.
+struct BchCase {
+  unsigned m, t;
+};
+
+class BchCorrectionSweep : public ::testing::TestWithParam<BchCase> {};
+
+TEST_P(BchCorrectionSweep, CorrectsUpToTErrors) {
+  const auto [m, t] = GetParam();
+  const BchCode code(m, t);
+  Rng rng(100 * m + t);
+  for (std::size_t errors = 0; errors <= t; ++errors) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const Bits msg = random_message(code, rng);
+      Bits rx = code.encode(msg);
+      flip_random_bits(rx, errors, rng);
+      const auto dec = code.decode(rx);
+      ASSERT_TRUE(dec.ok) << "m=" << m << " t=" << t << " errors=" << errors;
+      EXPECT_EQ(dec.errors_corrected, errors);
+      EXPECT_EQ(dec.message, msg);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, BchCorrectionSweep,
+                         ::testing::Values(BchCase{4, 1}, BchCase{4, 2}, BchCase{4, 3},
+                                           BchCase{5, 3}, BchCase{6, 5}, BchCase{7, 10},
+                                           BchCase{8, 6}));
+
+TEST(Bch, BeyondCapacityDoesNotSilentlyMiscorrectOften) {
+  // t+1 errors either fail (preferred) or land on a *different valid*
+  // codeword; they must never return ok with the original message intact
+  // while claiming <= t corrections of the wrong positions silently.
+  const BchCode code(7, 5);
+  Rng rng(4);
+  int failed = 0, miscorrected = 0;
+  const int trials = 60;
+  for (int i = 0; i < trials; ++i) {
+    const Bits msg = random_message(code, rng);
+    Bits rx = code.encode(msg);
+    flip_random_bits(rx, code.t() + 1, rng);
+    const auto dec = code.decode(rx);
+    if (!dec.ok) ++failed;
+    else if (dec.message != msg) ++miscorrected;
+    // dec.ok && dec.message == msg would require the t+1 flips to land
+    // back on the same codeword's decoding sphere — impossible for t+1
+    // random flips of weight <= t spheres.
+  }
+  EXPECT_EQ(failed + miscorrected, trials);
+  EXPECT_GT(failed, trials / 2);  // detection dominates for BCH(127, t=5)
+}
+
+TEST(Bch, AllZeroAndAllOneWords) {
+  const BchCode code(4, 2);
+  // The zero word is a codeword.
+  const auto zero = code.decode(Bits(code.n(), 0));
+  EXPECT_TRUE(zero.ok);
+  EXPECT_EQ(zero.errors_corrected, 0u);
+  // The all-ones word of length 15 is also a codeword of this code iff
+  // g(x) divides (x^15 - 1)/(x - 1)... just check decode is well-defined.
+  const auto ones = code.decode(Bits(code.n(), 1));
+  if (ones.ok) EXPECT_LE(ones.errors_corrected, code.t());
+}
+
+}  // namespace
+}  // namespace xpuf::crypto

@@ -1,0 +1,139 @@
+// Tests for the CMA-ES black-box minimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ml/cmaes.hpp"
+
+namespace xpuf::ml {
+namespace {
+
+using linalg::Vector;
+
+TEST(CmaEs, MinimizesSphere) {
+  BlackBoxObjective f = [](const Vector& x) {
+    double s = 0.0;
+    for (double v : x) s += v * v;
+    return s;
+  };
+  CmaEsOptions opts;
+  opts.max_generations = 400;
+  const CmaEsResult res = minimize_cmaes(f, Vector(5, 2.0), opts);
+  EXPECT_LT(res.value, 1e-8);
+  for (double v : res.x) EXPECT_NEAR(v, 0.0, 1e-3);
+}
+
+TEST(CmaEs, MinimizesShiftedEllipsoid) {
+  // Strongly anisotropic quadratic with a shifted optimum — exercises the
+  // covariance adaptation.
+  BlackBoxObjective f = [](const Vector& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i);
+      s += std::pow(100.0, static_cast<double>(i) / 5.0) * d * d;
+    }
+    return s;
+  };
+  CmaEsOptions opts;
+  opts.max_generations = 800;
+  const CmaEsResult res = minimize_cmaes(f, Vector(6, 0.0), opts);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_NEAR(res.x[i], static_cast<double>(i), 2e-2) << i;
+}
+
+TEST(CmaEs, MinimizesRosenbrockWithoutGradients) {
+  BlackBoxObjective f = [](const Vector& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  CmaEsOptions opts;
+  opts.max_generations = 600;
+  opts.seed = 3;
+  const CmaEsResult res = minimize_cmaes(f, Vector{-1.2, 1.0}, opts);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(res.x[1], 1.0, 2e-2);
+}
+
+TEST(CmaEs, HandlesNonSmoothObjective) {
+  // |x| + 0.5 |y| — no gradient at the optimum, fine for an ES.
+  BlackBoxObjective f = [](const Vector& x) {
+    return std::fabs(x[0]) + 0.5 * std::fabs(x[1]);
+  };
+  const CmaEsResult res = minimize_cmaes(f, Vector{3.0, -4.0});
+  EXPECT_LT(res.value, 1e-4);
+}
+
+TEST(CmaEs, SurvivesNonFiniteRegions) {
+  // Infinite outside the unit disc.
+  BlackBoxObjective f = [](const Vector& x) {
+    const double r2 = x[0] * x[0] + x[1] * x[1];
+    if (r2 > 1.0) return std::numeric_limits<double>::infinity();
+    return (x[0] - 0.2) * (x[0] - 0.2) + (x[1] + 0.1) * (x[1] + 0.1);
+  };
+  CmaEsOptions opts;
+  opts.initial_sigma = 0.2;
+  const CmaEsResult res = minimize_cmaes(f, Vector{0.0, 0.0}, opts);
+  EXPECT_NEAR(res.x[0], 0.2, 1e-2);
+  EXPECT_NEAR(res.x[1], -0.1, 1e-2);
+}
+
+TEST(CmaEs, IsDeterministicPerSeed) {
+  BlackBoxObjective f = [](const Vector& x) {
+    return (x[0] - 1.0) * (x[0] - 1.0) + x[1] * x[1];
+  };
+  CmaEsOptions opts;
+  opts.seed = 9;
+  opts.max_generations = 50;
+  const CmaEsResult a = minimize_cmaes(f, Vector{0.0, 0.0}, opts);
+  const CmaEsResult b = minimize_cmaes(f, Vector{0.0, 0.0}, opts);
+  EXPECT_EQ(a.x.raw(), b.x.raw());
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(CmaEs, ValidatesInput) {
+  BlackBoxObjective f = [](const Vector&) { return 0.0; };
+  EXPECT_THROW(minimize_cmaes(f, Vector{}), std::invalid_argument);
+  CmaEsOptions bad;
+  bad.initial_sigma = 0.0;
+  EXPECT_THROW(minimize_cmaes(f, Vector{1.0}, bad), std::invalid_argument);
+}
+
+TEST(CmaEs, ThrowsOnAlwaysNonFiniteObjective) {
+  BlackBoxObjective f = [](const Vector& x) {
+    return x.empty() ? 0.0 : std::numeric_limits<double>::quiet_NaN();
+  };
+  EXPECT_THROW(minimize_cmaes(f, Vector{1.0}), NumericalError);
+}
+
+TEST(CmaEs, StopsOnStagnation) {
+  BlackBoxObjective f = [](const Vector& x) { return x[0] * x[0]; };
+  CmaEsOptions opts;
+  opts.max_generations = 10'000;
+  opts.stagnation_window = 20;
+  const CmaEsResult res = minimize_cmaes(f, Vector{5.0}, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.generations, 10'000u);
+}
+
+class CmaEsDimensionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CmaEsDimensionSweep, SolvesSphereAtDimension) {
+  const std::size_t n = GetParam();
+  BlackBoxObjective f = [](const Vector& x) {
+    double s = 0.0;
+    for (double v : x) s += v * v;
+    return s;
+  };
+  CmaEsOptions opts;
+  opts.max_generations = 300 + 30 * n;
+  opts.seed = 100 + n;
+  const CmaEsResult res = minimize_cmaes(f, Vector(n, 1.0), opts);
+  EXPECT_LT(res.value, 1e-6) << "dim " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CmaEsDimensionSweep, ::testing::Values(1u, 2u, 8u, 33u));
+
+}  // namespace
+}  // namespace xpuf::ml

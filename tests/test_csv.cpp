@@ -1,0 +1,100 @@
+// Tests for CSV writing/reading round trips (bench artifact format).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace xpuf {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       ("xpuf_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"n", "value"});
+    w.write_row(std::vector<std::string>{"1", "0.5"});
+    w.write_row(std::vector<double>{2.0, 0.25});
+  }
+  const CsvData data = read_csv(path_);
+  ASSERT_EQ(data.header.size(), 2u);
+  EXPECT_EQ(data.header[0], "n");
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_EQ(data.rows[0][0], "1");
+  EXPECT_EQ(data.rows[1][0], "2");
+  EXPECT_EQ(data.rows[1][1], "0.25");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter w(path_, {"text"});
+    w.write_row(std::vector<std::string>{"a,b"});
+    w.write_row(std::vector<std::string>{"say \"hi\""});
+    w.write_row(std::vector<std::string>{"line\nbreak"});
+  }
+  const CsvData data = read_csv(path_);
+  ASSERT_EQ(data.rows.size(), 3u);
+  EXPECT_EQ(data.rows[0][0], "a,b");
+  EXPECT_EQ(data.rows[1][0], "say \"hi\"");
+  EXPECT_EQ(data.rows[2][0], "line\nbreak");
+}
+
+TEST_F(CsvTest, ColumnLookupByName) {
+  {
+    CsvWriter w(path_, {"alpha", "beta", "gamma"});
+    w.write_row(std::vector<std::string>{"1", "2", "3"});
+  }
+  const CsvData data = read_csv(path_);
+  EXPECT_EQ(data.column("beta"), 1u);
+  EXPECT_THROW(data.column("delta"), ParseError);
+}
+
+TEST_F(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely/missing.csv"), ParseError);
+}
+
+TEST_F(CsvTest, WriteToUnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent/dir/out.csv", {"a"}), ParseError);
+}
+
+TEST_F(CsvTest, HandlesCrlfLineEndings) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "a,b\r\n1,2\r\n";
+  }
+  const CsvData data = read_csv(path_);
+  ASSERT_EQ(data.rows.size(), 1u);
+  EXPECT_EQ(data.rows[0][1], "2");
+}
+
+TEST_F(CsvTest, EmptyCellsSurvive) {
+  {
+    CsvWriter w(path_, {"a", "b", "c"});
+    w.write_row(std::vector<std::string>{"", "x", ""});
+  }
+  const CsvData data = read_csv(path_);
+  ASSERT_EQ(data.rows.size(), 1u);
+  EXPECT_EQ(data.rows[0][0], "");
+  EXPECT_EQ(data.rows[0][1], "x");
+  EXPECT_EQ(data.rows[0][2], "");
+}
+
+TEST(EnsureDirectory, CreatesNestedDirectories) {
+  const auto base = std::filesystem::temp_directory_path() / "xpuf_dir_test";
+  std::filesystem::remove_all(base);
+  const std::string made = ensure_directory((base / "a" / "b").string());
+  EXPECT_TRUE(std::filesystem::is_directory(made));
+  std::filesystem::remove_all(base);
+}
+
+}  // namespace
+}  // namespace xpuf

@@ -1,0 +1,114 @@
+// Tests for the supervised dataset container.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ml/dataset.hpp"
+
+namespace xpuf::ml {
+namespace {
+
+Dataset make_dataset(std::size_t n, std::size_t d) {
+  Dataset data;
+  data.x = linalg::Matrix(n, d);
+  data.y = linalg::Vector(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c)
+      data.x(r, c) = static_cast<double>(r * d + c);
+    data.y[r] = static_cast<double>(r);
+  }
+  return data;
+}
+
+TEST(Dataset, AddFixesFeatureCount) {
+  Dataset data;
+  const std::vector<double> row1{1.0, 2.0};
+  data.add(row1, 0.0);
+  EXPECT_EQ(data.size(), 1u);
+  EXPECT_EQ(data.features(), 2u);
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW(data.add(bad, 1.0), std::invalid_argument);
+  const std::vector<double> row2{3.0, 4.0};
+  data.add(row2, 1.0);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.x(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(data.y[1], 1.0);
+}
+
+TEST(Dataset, SubsetCopiesSelectedRows) {
+  const Dataset data = make_dataset(5, 2);
+  const std::vector<std::size_t> idx{4, 0, 2};
+  const Dataset sub = data.subset(idx);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.y[0], 4.0);
+  EXPECT_DOUBLE_EQ(sub.y[1], 0.0);
+  EXPECT_DOUBLE_EQ(sub.x(2, 0), 4.0);
+}
+
+TEST(Dataset, SubsetValidatesIndices) {
+  const Dataset data = make_dataset(3, 1);
+  const std::vector<std::size_t> bad{5};
+  EXPECT_THROW(data.subset(bad), std::invalid_argument);
+}
+
+TEST(Dataset, SplitPreservesAllRows) {
+  const Dataset data = make_dataset(10, 2);
+  Rng rng(1);
+  auto [train, test] = data.split(0.7, rng);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(test.size(), 3u);
+  std::vector<double> all;
+  for (std::size_t i = 0; i < train.size(); ++i) all.push_back(train.y[i]);
+  for (std::size_t i = 0; i < test.size(); ++i) all.push_back(test.y[i]);
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(all[i], static_cast<double>(i));
+}
+
+TEST(Dataset, SplitIsDeterministicPerSeed) {
+  const Dataset data = make_dataset(20, 1);
+  Rng r1(7), r2(7);
+  auto [a_train, a_test] = data.split(0.5, r1);
+  auto [b_train, b_test] = data.split(0.5, r2);
+  for (std::size_t i = 0; i < a_train.size(); ++i)
+    EXPECT_DOUBLE_EQ(a_train.y[i], b_train.y[i]);
+}
+
+TEST(Dataset, SplitRejectsBadFraction) {
+  const Dataset data = make_dataset(4, 1);
+  Rng rng(2);
+  EXPECT_THROW(data.split(1.5, rng), std::invalid_argument);
+  EXPECT_THROW(data.split(-0.1, rng), std::invalid_argument);
+}
+
+TEST(Dataset, HeadSplitKeepsOrder) {
+  const Dataset data = make_dataset(6, 1);
+  auto [train, test] = data.head_split(4);
+  EXPECT_EQ(train.size(), 4u);
+  EXPECT_EQ(test.size(), 2u);
+  EXPECT_DOUBLE_EQ(train.y[0], 0.0);
+  EXPECT_DOUBLE_EQ(test.y[0], 4.0);
+  EXPECT_THROW(data.head_split(7), std::invalid_argument);
+}
+
+TEST(Dataset, ShuffleKeepsRowsPaired) {
+  Dataset data = make_dataset(30, 2);
+  Rng rng(3);
+  data.shuffle(rng);
+  // Row content must still satisfy the construction invariant
+  // x(r, 0) == 2 * y[r] (since d = 2).
+  for (std::size_t r = 0; r < data.size(); ++r)
+    EXPECT_DOUBLE_EQ(data.x(r, 0), 2.0 * data.y[r]);
+  // And the multiset of targets is unchanged.
+  std::vector<double> ys(data.y.begin(), data.y.end());
+  std::sort(ys.begin(), ys.end());
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_DOUBLE_EQ(ys[i], static_cast<double>(i));
+}
+
+TEST(Dataset, EmptyDatasetBehaves) {
+  const Dataset data;
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data.size(), 0u);
+}
+
+}  // namespace
+}  // namespace xpuf::ml

@@ -1,0 +1,90 @@
+// Parameterized enrollment-quality sweep across PUF geometries: the
+// paper's pipeline (soft-response linear regression + thresholds) must work
+// for any stage count, including the 64-stage device its Sec 5.2
+// CRP-space argument assumes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "common/math.hpp"
+#include "puf/selection.hpp"
+#include "puf/threshold_adjust.hpp"
+#include "sim/population.hpp"
+
+namespace xpuf::puf {
+namespace {
+
+struct GeometryCase {
+  std::size_t stages;
+  std::uint64_t seed;
+};
+
+class EnrollmentGeometrySweep : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(EnrollmentGeometrySweep, PipelineHoldsAcrossStageCounts) {
+  const auto [stages, seed] = GetParam();
+  sim::PopulationConfig cfg;
+  cfg.n_chips = 1;
+  cfg.n_pufs_per_chip = 2;
+  cfg.seed = seed;
+  cfg.device.stages = stages;
+  // Keep the delay-to-noise ratio constant across geometries: the process
+  // spread grows like sqrt(stages).
+  cfg.device.sigma_noise = 0.327 * std::sqrt(static_cast<double>(stages) / 32.0);
+  sim::ChipPopulation pop(cfg);
+  auto& chip = pop.chip(0);
+  Rng rng(seed + 1);
+
+  EnrollmentConfig ecfg;
+  // Scale the training set with the parameter count.
+  ecfg.training_challenges = 100 * stages + 1'000;
+  ecfg.trials = 4'000;
+  const ServerModel model = Enroller(ecfg).enroll(chip, rng);
+  ASSERT_EQ(model.stages(), stages);
+
+  // (1) Weight-direction fidelity.
+  const auto env = sim::Environment::nominal();
+  const linalg::Vector w_true = chip.device_for_analysis(0).reduced_weights(env);
+  const linalg::Vector& w_fit = model.puf(0).model.weights();
+  const double corr = pearson_correlation(
+      std::span<const double>(w_true.data(), stages),
+      std::span<const double>(w_fit.data(), stages));
+  EXPECT_GT(corr, 0.97) << "stages = " << stages;
+
+  // (2) Threshold sanity.
+  const ThresholdPair& thr = model.puf(0).thresholds;
+  EXPECT_LT(thr.thr0, thr.thr1);
+
+  // (3) Stability fraction stays near the calibrated 80% by construction of
+  // the sigma_noise scaling above.
+  std::size_t stable = 0;
+  const std::size_t n = 1'500;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = random_challenge(stages, rng);
+    if (chip.measure_soft_response(0, c, env, 4'000, rng).fully_stable()) ++stable;
+  }
+  EXPECT_NEAR(static_cast<double>(stable) / n, 0.83, 0.08) << "stages = " << stages;
+
+  // (4) Selected stable challenges really are stable (spot check).
+  ServerModel tightened = model;
+  tightened.set_betas(BetaFactors{0.8, 1.2});
+  ModelBasedSelector selector(tightened, 2);
+  const SelectionResult sel = selector.select(20, rng);
+  std::size_t verified = 0;
+  for (const auto& c : sel.challenges) {
+    bool all = true;
+    for (std::size_t p = 0; p < 2; ++p)
+      if (!chip.measure_soft_response(p, c, env, 4'000, rng).fully_stable()) all = false;
+    if (all) ++verified;
+  }
+  EXPECT_GE(verified, 18u) << "stages = " << stages;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, EnrollmentGeometrySweep,
+                         ::testing::Values(GeometryCase{16, 21}, GeometryCase{32, 22},
+                                           GeometryCase{64, 23},
+                                           GeometryCase{128, 24}));
+
+}  // namespace
+}  // namespace xpuf::puf

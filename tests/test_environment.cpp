@@ -1,0 +1,98 @@
+// Tests for the voltage/temperature environment model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/environment.hpp"
+
+namespace xpuf::sim {
+namespace {
+
+TEST(Environment, NominalIsPaperEnrollmentCorner) {
+  const Environment e = Environment::nominal();
+  EXPECT_DOUBLE_EQ(e.voltage, 0.9);
+  EXPECT_DOUBLE_EQ(e.temperature, 25.0);
+}
+
+TEST(Environment, LabelIsReadable) {
+  const Environment e{0.8, 60.0};
+  EXPECT_EQ(e.label(), "0.8V/60C");
+}
+
+TEST(Environment, GridHasNineUniqueCorners) {
+  const auto grid = paper_corner_grid();
+  ASSERT_EQ(grid.size(), 9u);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    for (std::size_t j = i + 1; j < grid.size(); ++j) EXPECT_FALSE(grid[i] == grid[j]);
+  // Must contain the nominal corner.
+  bool has_nominal = false;
+  for (const auto& e : grid)
+    if (e == Environment::nominal()) has_nominal = true;
+  EXPECT_TRUE(has_nominal);
+}
+
+TEST(EnvironmentModel, NominalIsIdentity) {
+  const EnvironmentModel m;
+  const Environment e = Environment::nominal();
+  EXPECT_DOUBLE_EQ(m.delay_scale(e), 1.0);
+  EXPECT_DOUBLE_EQ(m.sensitivity_shift(e), 0.0);
+  EXPECT_DOUBLE_EQ(m.noise_scale(e), 1.0);
+}
+
+TEST(EnvironmentModel, NoiseGrowsAwayFromNominal) {
+  const EnvironmentModel m;
+  const double nominal = m.noise_scale(Environment::nominal());
+  for (const auto& e : paper_corner_grid()) {
+    if (e == Environment::nominal()) continue;
+    EXPECT_GT(m.noise_scale(e), nominal) << e.label();
+  }
+}
+
+TEST(EnvironmentModel, NoiseIsSymmetricInVoltageDeviation) {
+  const EnvironmentModel m;
+  EXPECT_DOUBLE_EQ(m.noise_scale({0.8, 25.0}), m.noise_scale({1.0, 25.0}));
+}
+
+TEST(EnvironmentModel, DelayScaleRespondsToVoltage) {
+  const EnvironmentModel m;
+  // Default coefficients: delays stretch at low VDD.
+  EXPECT_GT(m.delay_scale({0.8, 25.0}), m.delay_scale({1.0, 25.0}));
+}
+
+TEST(EnvironmentModel, DelayScaleIsFloored) {
+  EnvironmentModel m;
+  m.scale_voltage = 100.0;  // absurd coefficient
+  EXPECT_GE(m.delay_scale({0.0, 25.0}), 0.1);
+}
+
+TEST(EnvironmentModel, ShiftIsSignedAndZeroAtNominal) {
+  const EnvironmentModel m;
+  EXPECT_DOUBLE_EQ(m.sensitivity_shift(Environment::nominal()), 0.0);
+  const double lo = m.sensitivity_shift({0.8, 25.0});
+  const double hi = m.sensitivity_shift({1.0, 25.0});
+  EXPECT_LT(lo * hi, 0.0);  // opposite signs around nominal
+}
+
+TEST(EnvironmentModel, ShiftGrowsWithTemperatureSpan) {
+  const EnvironmentModel m;
+  EXPECT_GT(std::fabs(m.sensitivity_shift({0.9, 60.0})),
+            std::fabs(m.sensitivity_shift({0.9, 40.0})));
+}
+
+TEST(EnvironmentModel, CoefficientsAreHonored) {
+  EnvironmentModel m;
+  m.scale_voltage = 0.0;
+  m.scale_temperature = 0.0;
+  m.shift_voltage = 0.0;
+  m.shift_temperature = 0.0;
+  m.noise_voltage = 0.0;
+  m.noise_temperature = 0.0;
+  for (const auto& e : paper_corner_grid()) {
+    EXPECT_DOUBLE_EQ(m.delay_scale(e), 1.0);
+    EXPECT_DOUBLE_EQ(m.sensitivity_shift(e), 0.0);
+    EXPECT_DOUBLE_EQ(m.noise_scale(e), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace xpuf::sim

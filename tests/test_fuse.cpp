@@ -1,0 +1,45 @@
+// Tests for the one-time-programmable fuse bank.
+#include <gtest/gtest.h>
+
+#include "sim/fuse.hpp"
+
+namespace xpuf::sim {
+namespace {
+
+TEST(FuseBank, StartsIntact) {
+  const FuseBank bank(4);
+  EXPECT_EQ(bank.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(bank.intact(i));
+  EXPECT_FALSE(bank.all_blown());
+  EXPECT_EQ(bank.blown_count(), 0u);
+}
+
+TEST(FuseBank, BlowIsIrreversibleAndIdempotent) {
+  FuseBank bank(3);
+  bank.blow(1);
+  EXPECT_FALSE(bank.intact(1));
+  EXPECT_TRUE(bank.intact(0));
+  bank.blow(1);  // no-op
+  EXPECT_EQ(bank.blown_count(), 1u);
+}
+
+TEST(FuseBank, BlowAllDeploys) {
+  FuseBank bank(5);
+  bank.blow_all();
+  EXPECT_TRUE(bank.all_blown());
+  EXPECT_EQ(bank.blown_count(), 5u);
+}
+
+TEST(FuseBank, IndexIsValidated) {
+  FuseBank bank(2);
+  EXPECT_THROW(bank.intact(2), std::invalid_argument);
+  EXPECT_THROW(bank.blow(2), std::invalid_argument);
+}
+
+TEST(FuseBank, EmptyBankIsTriviallyBlown) {
+  const FuseBank bank(0);
+  EXPECT_TRUE(bank.all_blown());
+}
+
+}  // namespace
+}  // namespace xpuf::sim

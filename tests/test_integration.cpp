@@ -1,0 +1,125 @@
+// End-to-end integration: the complete lifecycle of the paper's proposal —
+// fabricate, enroll through fused taps, adjust thresholds over corners,
+// deploy (blow fuses), then authenticate across the V/T grid with the
+// zero-Hamming-distance criterion — plus the attack-surface contract.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "puf/attack.hpp"
+#include "puf/authentication.hpp"
+#include "puf/threshold_adjust.hpp"
+#include "sim/population.hpp"
+
+namespace xpuf {
+namespace {
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNPufs = 4;  // small XOR width keeps tests fast
+
+  LifecycleTest() : rng_(20170618) {
+    sim::PopulationConfig cfg;
+    cfg.n_chips = 2;
+    cfg.n_pufs_per_chip = kNPufs;
+    cfg.seed = 777777;
+    pop_ = std::make_unique<sim::ChipPopulation>(cfg);
+  }
+
+  std::unique_ptr<sim::ChipPopulation> pop_;
+  Rng rng_;
+};
+
+TEST_F(LifecycleTest, FullProtocolRoundTrip) {
+  sim::XorPufChip& chip = pop_->chip(0);
+
+  // --- Enrollment phase (paper Fig 6) ---
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 3'000;
+  ecfg.trials = 5'000;
+  puf::ServerModel model = puf::Enroller(ecfg).enroll(chip, rng_);
+
+  // Threshold adjustment over the full V/T grid.
+  const auto eval_challenges = puf::random_challenges(chip.stages(), 1'500, rng_);
+  std::vector<puf::EvaluationBlock> blocks;
+  for (const auto& env : sim::paper_corner_grid())
+    blocks.push_back(
+        puf::measure_evaluation_block(chip, eval_challenges, env, 5'000, rng_));
+  const puf::BetaSearchResult betas = puf::find_betas(model, blocks);
+  ASSERT_TRUE(betas.converged);
+  model.set_betas(betas.betas);
+  EXPECT_LE(betas.betas.beta0, 1.0);
+  EXPECT_GE(betas.betas.beta1, 1.0);
+
+  // --- Deployment: burn the fuses ---
+  chip.blow_fuses();
+  ASSERT_TRUE(chip.deployed());
+
+  // Individual taps are now gone — the modeling-attack data source is off.
+  puf::AttackDatasetConfig acfg;
+  acfg.n_pufs = kNPufs;
+  acfg.challenges = 10;
+  EXPECT_THROW(puf::build_stable_attack_dataset(chip, acfg, rng_), AccessError);
+
+  // --- Authentication phase (paper Fig 7) across every corner ---
+  puf::AuthenticationServer server(model, kNPufs, {.challenge_count = 48});
+  for (const auto& env : sim::paper_corner_grid()) {
+    const puf::AuthenticationOutcome out = server.authenticate(chip, env, rng_);
+    EXPECT_TRUE(out.approved) << env.label() << " mismatches=" << out.mismatches;
+    EXPECT_EQ(out.mismatches, 0u) << env.label();
+  }
+
+  // A counterfeit chip from the same lot is denied at every corner.
+  sim::XorPufChip& counterfeit = pop_->chip(1);
+  for (const auto& env : sim::paper_corner_grid()) {
+    const puf::AuthenticationOutcome out = server.authenticate(counterfeit, env, rng_);
+    EXPECT_FALSE(out.approved) << env.label();
+  }
+}
+
+TEST_F(LifecycleTest, ModelSelectionBeatsRandomSelectionUnderCorners) {
+  sim::XorPufChip& chip = pop_->chip(0);
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 3'000;
+  ecfg.trials = 5'000;
+  puf::ServerModel model = puf::Enroller(ecfg).enroll(chip, rng_);
+  const auto eval_challenges = puf::random_challenges(chip.stages(), 1'000, rng_);
+  std::vector<puf::EvaluationBlock> blocks;
+  for (const auto& env : sim::paper_corner_grid())
+    blocks.push_back(
+        puf::measure_evaluation_block(chip, eval_challenges, env, 5'000, rng_));
+  model.set_betas(puf::find_betas(model, blocks).betas);
+
+  puf::AuthenticationServer server(model, kNPufs, {.challenge_count = 64});
+  const sim::Environment worst{0.8, 60.0};
+
+  std::size_t selected_mismatches = 0, random_mismatches = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    selected_mismatches +=
+        server.authenticate(chip, worst, rng_, /*model_selected=*/true).mismatches;
+    random_mismatches +=
+        server.authenticate(chip, worst, rng_, /*model_selected=*/false).mismatches;
+  }
+  EXPECT_EQ(selected_mismatches, 0u);
+  EXPECT_GT(random_mismatches, 0u);
+}
+
+TEST_F(LifecycleTest, EnrollmentIsReproducibleAcrossServerRestarts) {
+  // The server database (weights + thresholds + betas) fully determines
+  // challenge selection: two servers with the same model issue batches with
+  // the same stability guarantees.
+  sim::XorPufChip& chip = pop_->chip(0);
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 1'000;
+  ecfg.trials = 2'000;
+  Rng r1(5), r2(5);
+  const puf::ServerModel m1 = puf::Enroller(ecfg).enroll(chip, r1);
+  const puf::ServerModel m2 = puf::Enroller(ecfg).enroll(chip, r2);
+  for (std::size_t p = 0; p < kNPufs; ++p) {
+    EXPECT_EQ(m1.puf(p).model.weights().raw(), m2.puf(p).model.weights().raw());
+    EXPECT_DOUBLE_EQ(m1.puf(p).thresholds.thr0, m2.puf(p).thresholds.thr0);
+    EXPECT_DOUBLE_EQ(m1.puf(p).thresholds.thr1, m2.puf(p).thresholds.thr1);
+  }
+}
+
+}  // namespace
+}  // namespace xpuf

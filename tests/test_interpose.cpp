@@ -1,0 +1,153 @@
+// Tests for the interpose PUF (iPUF) extension.
+#include <gtest/gtest.h>
+
+#include "linalg/least_squares.hpp"
+#include "puf/transform.hpp"
+#include "sim/interpose.hpp"
+
+namespace xpuf::sim {
+namespace {
+
+InterposePuf make_ipuf(const InterposeConfig& cfg, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return InterposePuf(cfg, DeviceParameters{}, EnvironmentModel{}, rng);
+}
+
+TEST(Interpose, ValidatesConfiguration) {
+  Rng rng(1);
+  DeviceParameters params;
+  InterposeConfig bad;
+  bad.upper_pufs = 0;
+  EXPECT_THROW(InterposePuf(bad, params, EnvironmentModel{}, rng),
+               std::invalid_argument);
+  bad = InterposeConfig{};
+  bad.interpose_position = 40;  // beyond the 32-bit lower challenge
+  EXPECT_THROW(InterposePuf(bad, params, EnvironmentModel{}, rng),
+               std::invalid_argument);
+  bad = InterposeConfig{};
+  bad.lower_pufs = 0;
+  EXPECT_THROW(InterposePuf(bad, params, EnvironmentModel{}, rng),
+               std::invalid_argument);
+}
+
+TEST(Interpose, ChallengeLengthIsValidated) {
+  const auto ipuf = make_ipuf(InterposeConfig{});
+  Rng rng(2);
+  EXPECT_THROW(ipuf.evaluate(Challenge(31, 0), Environment::nominal(), rng),
+               std::invalid_argument);
+  EXPECT_THROW(ipuf.response(Challenge(33, 0), Environment::nominal()),
+               std::invalid_argument);
+}
+
+TEST(Interpose, NoiseFreeResponseIsDeterministic) {
+  const auto ipuf = make_ipuf(InterposeConfig{});
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const auto c = random_challenge(32, rng);
+    const bool r1 = ipuf.response(c, Environment::nominal());
+    const bool r2 = ipuf.response(c, Environment::nominal());
+    EXPECT_EQ(r1, r2);
+  }
+}
+
+TEST(Interpose, ResponseIsBalanced) {
+  const auto ipuf = make_ipuf(InterposeConfig{.upper_pufs = 2, .lower_pufs = 2});
+  Rng rng(4);
+  int ones = 0;
+  const int n = 4'000;
+  for (int i = 0; i < n; ++i)
+    if (ipuf.response(random_challenge(32, rng), Environment::nominal())) ++ones;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.05);
+}
+
+TEST(Interpose, InterposedBitActuallyMatters) {
+  // Two iPUFs fabricated from the SAME RNG stream but with different
+  // interpose positions share every stage delay; any response disagreement
+  // can only come from where the upper bit is spliced in — so a nontrivial
+  // disagreement fraction proves the interposed path shapes the response.
+  Rng r1(100), r2(100);
+  DeviceParameters params;
+  InterposeConfig left;
+  left.interpose_position = 4;
+  InterposeConfig right;
+  right.interpose_position = 28;
+  const InterposePuf a(left, params, EnvironmentModel{}, r1);
+  const InterposePuf b(right, params, EnvironmentModel{}, r2);
+  int differ = 0;
+  const int m = 600;
+  Rng crng(6);
+  for (int i = 0; i < m; ++i) {
+    const auto c = random_challenge(32, crng);
+    if (a.response(c, Environment::nominal()) != b.response(c, Environment::nominal()))
+      ++differ;
+  }
+  EXPECT_GT(differ, m / 20);
+
+  // And identical configurations from identical streams agree exactly.
+  Rng r3(100), r4(100);
+  const InterposePuf c1(left, params, EnvironmentModel{}, r3);
+  const InterposePuf c2(left, params, EnvironmentModel{}, r4);
+  int same = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto c = random_challenge(32, crng);
+    if (c1.response(c, Environment::nominal()) == c2.response(c, Environment::nominal()))
+      ++same;
+  }
+  EXPECT_EQ(same, 200);
+}
+
+TEST(Interpose, StabilityComparableToEquivalentXor) {
+  // iPUF(x=1, y=1) uses 2 arbiter PUFs; its stable fraction should be in
+  // the same range as a 2-XOR (the interposed bit adds one more noise
+  // source but only matters when the upper PUF is unstable).
+  Rng fab(11);
+  DeviceParameters params;
+  const InterposePuf ipuf(InterposeConfig{}, params, EnvironmentModel{}, fab);
+  Rng fab2(11);
+  const XorPufChip xor2(0, 2, params, EnvironmentModel{}, fab2);
+  Rng rng(12);
+  const auto env = Environment::nominal();
+  const std::uint64_t trials = 2'000;
+  int stable_ipuf = 0, stable_xor = 0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const auto c = random_challenge(32, rng);
+    if (ipuf.measure_soft_response(c, env, trials, rng).fully_stable()) ++stable_ipuf;
+    if (xor2.measure_xor_soft_response(c, env, trials, rng).fully_stable()) ++stable_xor;
+  }
+  // Both near 0.8^2 = 0.64; allow generous slack.
+  EXPECT_NEAR(static_cast<double>(stable_ipuf) / n,
+              static_cast<double>(stable_xor) / n, 0.12);
+}
+
+TEST(Interpose, LinearModelCannotExplainIt) {
+  // Fit the best linear additive model to noise-free iPUF responses: the
+  // achievable accuracy must be clearly below the ~98% the same procedure
+  // reaches on a plain arbiter PUF (the structural security argument).
+  const auto ipuf = make_ipuf(InterposeConfig{.upper_pufs = 1, .lower_pufs = 1}, 21);
+  Rng rng(13);
+  const std::size_t train_n = 6'000;
+  // Least squares on +/-1 targets over parity features.
+  linalg::Matrix x(train_n, 33);
+  linalg::Vector y(train_n);
+  for (std::size_t i = 0; i < train_n; ++i) {
+    const auto c = random_challenge(32, rng);
+    puf::feature_vector_into(c, x.row(i));
+    y[i] = ipuf.response(c, Environment::nominal()) ? 1.0 : -1.0;
+  }
+  const auto fit = linalg::solve_least_squares(x, y);
+  std::size_t hits = 0;
+  const std::size_t test_n = 4'000;
+  for (std::size_t i = 0; i < test_n; ++i) {
+    const auto c = random_challenge(32, rng);
+    const linalg::Vector phi = puf::feature_vector(c);
+    const bool pred = linalg::dot(fit.coefficients, phi) > 0.0;
+    if (pred == ipuf.response(c, Environment::nominal())) ++hits;
+  }
+  const double accuracy = static_cast<double>(hits) / test_n;
+  EXPECT_LT(accuracy, 0.93);
+  EXPECT_GT(accuracy, 0.55);  // but far from random: half the mass is linear
+}
+
+}  // namespace
+}  // namespace xpuf::sim

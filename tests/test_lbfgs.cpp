@@ -1,0 +1,158 @@
+// Tests for the L-BFGS minimizer: convergence on convex and non-convex
+// benchmarks, tolerance behavior, and robustness to bad objectives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ml/lbfgs.hpp"
+
+namespace xpuf::ml {
+namespace {
+
+using linalg::Vector;
+
+TEST(Lbfgs, MinimizesSeparableQuadratic) {
+  // f(x) = sum_i i * (x_i - i)^2; minimum at x_i = i.
+  Objective f = [](const Vector& x, Vector& g) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double w = static_cast<double>(i + 1);
+      const double d = x[i] - w;
+      v += w * d * d;
+      g[i] = 2.0 * w * d;
+    }
+    return v;
+  };
+  const LbfgsResult res = minimize_lbfgs(f, Vector(5));
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(res.x[i], static_cast<double>(i + 1), 1e-5);
+  EXPECT_LT(res.value, 1e-9);
+}
+
+TEST(Lbfgs, SolvesIllConditionedQuadratic) {
+  // Condition number 1e4.
+  Objective f = [](const Vector& x, Vector& g) {
+    const double a = 1.0, b = 1e4;
+    g[0] = 2.0 * a * x[0];
+    g[1] = 2.0 * b * x[1];
+    return a * x[0] * x[0] + b * x[1] * x[1];
+  };
+  const LbfgsResult res = minimize_lbfgs(f, Vector{3.0, 3.0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 0.0, 1e-4);
+  EXPECT_NEAR(res.x[1], 0.0, 1e-4);
+}
+
+TEST(Lbfgs, MinimizesRosenbrock) {
+  Objective f = [](const Vector& x, Vector& g) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    g[0] = -2.0 * a - 400.0 * x[0] * b;
+    g[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsOptions opts;
+  opts.max_iterations = 500;
+  const LbfgsResult res = minimize_lbfgs(f, Vector{-1.2, 1.0}, opts);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-4);
+}
+
+TEST(Lbfgs, RespectsIterationCap) {
+  Objective f = [](const Vector& x, Vector& g) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    g[0] = -2.0 * a - 400.0 * x[0] * b;
+    g[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsOptions opts;
+  opts.max_iterations = 3;
+  const LbfgsResult res = minimize_lbfgs(f, Vector{-1.2, 1.0}, opts);
+  EXPECT_LE(res.iterations, 3u);
+  EXPECT_FALSE(res.converged);
+}
+
+TEST(Lbfgs, AlreadyAtMinimumConvergesImmediately) {
+  Objective f = [](const Vector& x, Vector& g) {
+    g[0] = 2.0 * x[0];
+    return x[0] * x[0];
+  };
+  const LbfgsResult res = minimize_lbfgs(f, Vector{0.0});
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 1u);
+}
+
+TEST(Lbfgs, ThrowsOnNonFiniteStart) {
+  Objective f = [](const Vector& x, Vector& g) {
+    g[0] = 0.0;
+    return x[0] * 0.0 + std::nan("");
+  };
+  EXPECT_THROW(minimize_lbfgs(f, Vector{1.0}), NumericalError);
+}
+
+TEST(Lbfgs, RejectsEmptyStart) {
+  Objective f = [](const Vector&, Vector&) { return 0.0; };
+  EXPECT_THROW(minimize_lbfgs(f, Vector{}), std::invalid_argument);
+}
+
+TEST(Lbfgs, SurvivesNonFiniteRegionsAwayFromStart) {
+  // f = -log(1 - x^2): infinite outside (-1, 1). Start inside; the line
+  // search must shrink steps that leave the domain.
+  Objective f = [](const Vector& x, Vector& g) {
+    const double v = 1.0 - x[0] * x[0];
+    if (v <= 0.0) {
+      g[0] = 0.0;
+      return std::numeric_limits<double>::infinity();
+    }
+    g[0] = 2.0 * x[0] / v;
+    return -std::log(v);
+  };
+  const LbfgsResult res = minimize_lbfgs(f, Vector{0.9});
+  EXPECT_NEAR(res.x[0], 0.0, 1e-5);
+}
+
+TEST(Lbfgs, CountsEvaluations) {
+  Objective f = [](const Vector& x, Vector& g) {
+    g[0] = 2.0 * x[0];
+    return x[0] * x[0];
+  };
+  const LbfgsResult res = minimize_lbfgs(f, Vector{5.0});
+  EXPECT_GE(res.evaluations, 2u);
+}
+
+// Dimension sweep: convergence on random convex quadratics of increasing
+// size, including the MLP-scale parameter counts used by the attack.
+class LbfgsDimensionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LbfgsDimensionSweep, ConvergesOnRandomConvexQuadratic) {
+  const std::size_t n = GetParam();
+  // f(x) = sum (x_i - t_i)^2 * s_i with deterministic pseudo-random t, s.
+  std::vector<double> t(n), s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = std::sin(static_cast<double>(i) * 1.7) * 3.0;
+    s[i] = 1.0 + std::fmod(static_cast<double>(i) * 0.37, 4.0);
+  }
+  Objective f = [&](const Vector& x, Vector& g) {
+    double v = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = x[i] - t[i];
+      v += s[i] * d * d;
+      g[i] = 2.0 * s[i] * d;
+    }
+    return v;
+  };
+  LbfgsOptions opts;
+  opts.max_iterations = 400;
+  const LbfgsResult res = minimize_lbfgs(f, Vector(n), opts);
+  EXPECT_TRUE(res.converged) << res.message;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(res.x[i], t[i], 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, LbfgsDimensionSweep,
+                         ::testing::Values(1u, 2u, 10u, 33u, 330u, 2800u));
+
+}  // namespace
+}  // namespace xpuf::ml

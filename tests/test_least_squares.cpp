@@ -1,0 +1,125 @@
+// Tests for the least-squares front end (method selection, ridge, metrics).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/least_squares.hpp"
+
+namespace xpuf::linalg {
+namespace {
+
+struct Problem {
+  Matrix a;
+  Vector b;
+  Vector x_true;
+};
+
+Problem planted_problem(std::size_t m, std::size_t n, double noise, Rng& rng) {
+  Problem p;
+  p.a = Matrix(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) p.a(r, c) = rng.normal();
+  p.x_true = Vector(n);
+  for (auto& v : p.x_true) v = rng.normal();
+  p.b = matvec(p.a, p.x_true);
+  for (auto& v : p.b) v += rng.normal(0.0, noise);
+  return p;
+}
+
+TEST(LeastSquares, NoiseFreeRecoveryAllMethods) {
+  Rng rng(1);
+  const Problem p = planted_problem(40, 5, 0.0, rng);
+  for (auto method : {LeastSquaresMethod::kNormalEquations, LeastSquaresMethod::kQr,
+                      LeastSquaresMethod::kAuto}) {
+    LeastSquaresOptions opts;
+    opts.method = method;
+    const auto res = solve_least_squares(p.a, p.b, opts);
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_NEAR(res.coefficients[i], p.x_true[i], 1e-8);
+    EXPECT_NEAR(res.r_squared, 1.0, 1e-10);
+    EXPECT_LT(res.residual_norm, 1e-8);
+  }
+}
+
+TEST(LeastSquares, NoisyProblemStillCloseAndConsistent) {
+  Rng rng(2);
+  const Problem p = planted_problem(500, 4, 0.1, rng);
+  const auto ne = solve_least_squares(
+      p.a, p.b, {.method = LeastSquaresMethod::kNormalEquations});
+  const auto qr = solve_least_squares(p.a, p.b, {.method = LeastSquaresMethod::kQr});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(ne.coefficients[i], qr.coefficients[i], 1e-8);
+    EXPECT_NEAR(ne.coefficients[i], p.x_true[i], 0.05);
+  }
+  EXPECT_GT(ne.r_squared, 0.95);
+}
+
+TEST(LeastSquares, RidgeShrinksCoefficients) {
+  Rng rng(3);
+  const Problem p = planted_problem(30, 3, 0.05, rng);
+  const auto plain = solve_least_squares(p.a, p.b, {.ridge = 0.0});
+  const auto ridged = solve_least_squares(p.a, p.b, {.ridge = 100.0});
+  EXPECT_LT(norm2(ridged.coefficients), norm2(plain.coefficients));
+}
+
+TEST(LeastSquares, RidgeAgreesBetweenMethods) {
+  Rng rng(4);
+  const Problem p = planted_problem(25, 4, 0.1, rng);
+  const auto ne = solve_least_squares(
+      p.a, p.b, {.method = LeastSquaresMethod::kNormalEquations, .ridge = 2.5});
+  const auto qr = solve_least_squares(
+      p.a, p.b, {.method = LeastSquaresMethod::kQr, .ridge = 2.5});
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(ne.coefficients[i], qr.coefficients[i], 1e-8);
+}
+
+TEST(LeastSquares, AutoFallsBackToQrOnSingularGram) {
+  // Duplicated column makes A^T A singular; auto must fall back to QR and
+  // QR must then throw NumericalError (still rank-deficient), rather than
+  // returning garbage.
+  Matrix a(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    a(r, 0) = static_cast<double>(r + 1);
+    a(r, 1) = static_cast<double>(r + 1);
+  }
+  const Vector b{1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(solve_least_squares(a, b, {.method = LeastSquaresMethod::kAuto}),
+               NumericalError);
+}
+
+TEST(LeastSquares, AutoWithRidgeSolvesSingularGram) {
+  Matrix a(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    a(r, 0) = static_cast<double>(r + 1);
+    a(r, 1) = static_cast<double>(r + 1);
+  }
+  const Vector b{1.0, 2.0, 3.0, 4.0};
+  const auto res = solve_least_squares(
+      a, b, {.method = LeastSquaresMethod::kAuto, .ridge = 1e-6});
+  // Symmetric problem: both coefficients equal.
+  EXPECT_NEAR(res.coefficients[0], res.coefficients[1], 1e-6);
+  EXPECT_EQ(res.method_used, LeastSquaresMethod::kNormalEquations);
+}
+
+TEST(LeastSquares, RejectsUnderdeterminedAndMismatched) {
+  EXPECT_THROW(solve_least_squares(Matrix(2, 3), Vector(2)), std::invalid_argument);
+  EXPECT_THROW(solve_least_squares(Matrix(3, 2), Vector(2)), std::invalid_argument);
+}
+
+TEST(LeastSquares, RSquaredZeroForConstantTarget) {
+  Rng rng(5);
+  Matrix a(10, 2);
+  for (std::size_t r = 0; r < 10; ++r) {
+    a(r, 0) = rng.normal();
+    a(r, 1) = 1.0;
+  }
+  const Vector b(10, 3.0);  // constant target: TSS = 0
+  const auto res = solve_least_squares(a, b);
+  EXPECT_DOUBLE_EQ(res.r_squared, 0.0);
+  EXPECT_NEAR(res.coefficients[1], 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xpuf::linalg

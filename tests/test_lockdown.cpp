@@ -1,0 +1,54 @@
+// Tests for the lockdown CRP-budget gate extension.
+#include <gtest/gtest.h>
+
+#include "puf/extensions/lockdown.hpp"
+
+namespace xpuf::puf {
+namespace {
+
+TEST(Lockdown, BudgetIsEnforcedPerDevice) {
+  LockdownGate gate(LockdownPolicy{.lifetime_crp_budget = 100});
+  EXPECT_TRUE(gate.authorize(1, 60));
+  EXPECT_EQ(gate.issued(1), 60u);
+  EXPECT_EQ(gate.remaining(1), 40u);
+  EXPECT_TRUE(gate.authorize(1, 40));
+  EXPECT_EQ(gate.remaining(1), 0u);
+  EXPECT_FALSE(gate.authorize(1, 1));
+  // Another device has its own budget.
+  EXPECT_TRUE(gate.authorize(2, 100));
+}
+
+TEST(Lockdown, DeniedRequestDoesNotDebit) {
+  LockdownGate gate(LockdownPolicy{.lifetime_crp_budget = 10});
+  EXPECT_FALSE(gate.authorize(7, 11));
+  EXPECT_EQ(gate.issued(7), 0u);
+  EXPECT_TRUE(gate.authorize(7, 10));
+}
+
+TEST(Lockdown, OverflowingRequestAtBoundaryIsDenied) {
+  LockdownGate gate(LockdownPolicy{.lifetime_crp_budget = 10});
+  EXPECT_TRUE(gate.authorize(3, 9));
+  EXPECT_FALSE(gate.authorize(3, 2));
+  EXPECT_TRUE(gate.authorize(3, 1));
+}
+
+TEST(Lockdown, ZeroCountIsRejected) {
+  LockdownGate gate(LockdownPolicy{});
+  EXPECT_THROW(gate.authorize(1, 0), std::invalid_argument);
+}
+
+TEST(Lockdown, UnknownDeviceHasFullBudget) {
+  const LockdownGate gate(LockdownPolicy{.lifetime_crp_budget = 42});
+  EXPECT_EQ(gate.remaining(999), 42u);
+  EXPECT_EQ(gate.issued(999), 0u);
+}
+
+TEST(Lockdown, DefaultBudgetSitsBelowAttackKnee) {
+  // The paper's Fig 4 shows ~100k CRPs breaking n < 10; the default budget
+  // must be well below that.
+  const LockdownPolicy policy;
+  EXPECT_LT(policy.lifetime_crp_budget, 100'000u);
+}
+
+}  // namespace
+}  // namespace xpuf::puf

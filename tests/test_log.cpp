@@ -1,0 +1,41 @@
+// Tests for the leveled logger.
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+
+namespace xpuf {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  LogLevel saved_ = log_level();
+  void TearDown() override { set_log_level(saved_); }
+};
+
+TEST_F(LogTest, LevelCanBeOverridden) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LogTest, EmittingBelowThresholdDoesNotCrash) {
+  set_log_level(LogLevel::kError);
+  // These are filtered; the assertion is simply that nothing blows up.
+  log_line(LogLevel::kDebug, "filtered debug");
+  log_line(LogLevel::kInfo, "filtered info");
+  log_line(LogLevel::kWarn, "filtered warn");
+  log_line(LogLevel::kError, "visible error");
+  SUCCEED();
+}
+
+TEST_F(LogTest, StreamMacroBuildsMessages) {
+  set_log_level(LogLevel::kError);  // keep test output clean
+  XPUF_DEBUG() << "value = " << 42;
+  XPUF_WARN() << "warned " << 3.14;
+  XPUF_INFO() << "informed";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace xpuf

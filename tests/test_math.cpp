@@ -1,0 +1,198 @@
+// Tests for the scalar special functions (normal CDF/quantile, logistic
+// helpers, unanimity probability, summary statistics).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
+
+namespace xpuf {
+namespace {
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-15);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-10);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(NormalCdf, SymmetryHolds) {
+  for (double x : {0.3, 1.7, 2.9, 4.4}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-14);
+  }
+}
+
+TEST(NormalCdf, FarTailsDoNotSaturateEarly) {
+  EXPECT_GT(normal_cdf(-6.0), 0.0);
+  EXPECT_NEAR(normal_cdf(-6.0), 9.865876450377018e-10, 1e-15);
+  EXPECT_LT(normal_cdf(8.0), 1.0 + 1e-16);
+}
+
+TEST(LogNormalCdf, MatchesLogOfCdfInBulk) {
+  for (double x : {-5.0, -2.0, 0.0, 1.5}) {
+    EXPECT_NEAR(log_normal_cdf(x), std::log(normal_cdf(x)), 1e-8);
+  }
+}
+
+TEST(LogNormalCdf, FarTailIsFiniteAndOrdered) {
+  const double a = log_normal_cdf(-20.0);
+  const double b = log_normal_cdf(-30.0);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_TRUE(std::isfinite(b));
+  EXPECT_GT(a, b);
+  // Phi(-20) ~ 2.75e-89 -> log ~ -203.9.
+  EXPECT_NEAR(a, -203.9, 0.5);
+}
+
+TEST(NormalQuantile, InvertsTheCdf) {
+  for (double p : {1e-10, 1e-6, 0.001, 0.025, 0.3, 0.5, 0.9, 0.999, 1.0 - 1e-9}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-11) << "p = " << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-9);
+}
+
+TEST(NormalQuantile, RejectsBoundaries) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(-0.5), std::invalid_argument);
+}
+
+TEST(Sigmoid, MatchesClosedForm) {
+  for (double x : {-30.0, -3.0, 0.0, 2.0, 25.0}) {
+    EXPECT_NEAR(sigmoid(x), 1.0 / (1.0 + std::exp(-x)), 1e-12);
+  }
+}
+
+TEST(Sigmoid, ExtremesAreStable) {
+  EXPECT_NEAR(sigmoid(-800.0), 0.0, 1e-300);
+  EXPECT_NEAR(sigmoid(800.0), 1.0, 1e-300);
+}
+
+TEST(Softplus, MatchesClosedFormAndTails) {
+  for (double x : {-5.0, -0.5, 0.0, 0.5, 5.0}) {
+    EXPECT_NEAR(softplus(x), std::log1p(std::exp(x)), 1e-12);
+  }
+  EXPECT_NEAR(softplus(100.0), 100.0, 1e-9);
+  EXPECT_NEAR(softplus(-100.0), std::exp(-100.0), 1e-50);
+}
+
+TEST(Softplus, DerivativeIdentity) {
+  // softplus'(x) = sigmoid(x); check by central difference.
+  for (double x : {-2.0, 0.0, 3.0}) {
+    const double h = 1e-6;
+    const double d = (softplus(x + h) - softplus(x - h)) / (2.0 * h);
+    EXPECT_NEAR(d, sigmoid(x), 1e-6);
+  }
+}
+
+TEST(UnanimityProbability, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(unanimity_probability(0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(unanimity_probability(10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(unanimity_probability(10, 1.0), 1.0);
+}
+
+TEST(UnanimityProbability, MatchesDirectFormula) {
+  EXPECT_NEAR(unanimity_probability(3, 0.5), 0.25, 1e-12);  // 2 * 0.5^3
+  EXPECT_NEAR(unanimity_probability(2, 0.1), 0.81 + 0.01, 1e-12);
+}
+
+TEST(UnanimityProbability, LargeTrialTinyP) {
+  // K = 100'000, p = 1e-6: P ~ exp(-0.1) = 0.9048.
+  EXPECT_NEAR(unanimity_probability(100'000, 1e-6), std::exp(-0.1), 1e-4);
+}
+
+TEST(UnanimityProbability, IsSymmetricInP) {
+  for (double p : {0.01, 0.2, 0.4}) {
+    EXPECT_NEAR(unanimity_probability(50, p), unanimity_probability(50, 1.0 - p), 1e-12);
+  }
+}
+
+TEST(UnanimityProbability, DecreasesWithTrialCount) {
+  const double p = 1e-4;
+  double prev = 1.0;
+  for (std::uint64_t n : {10ULL, 100ULL, 1'000ULL, 10'000ULL, 100'000ULL}) {
+    const double u = unanimity_probability(n, p);
+    EXPECT_LT(u, prev);
+    prev = u;
+  }
+}
+
+TEST(SummaryStats, MeanVarianceStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(SummaryStats, EdgeCases) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(PearsonCorrelation, PerfectAndAnti) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> ny;
+  for (double v : y) ny.push_back(-v);
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(x, ny), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantInputGivesZero) {
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{2.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(PearsonCorrelation, RejectsLengthMismatch) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> y{1.0};
+  EXPECT_THROW(pearson_correlation(x, y), std::invalid_argument);
+}
+
+TEST(Clamp, ClampsAndValidates) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(clamp(0.7, 0.7, 0.7), 0.7);
+  EXPECT_THROW(clamp(0.0, 1.0, -1.0), std::invalid_argument);
+}
+
+// Property sweep: the unanimity probability matches a Monte-Carlo estimate
+// across a grid of (n, p) regimes, tying together binomial tails and the
+// closed form used by the analysis.
+struct UnanimityCase {
+  std::uint64_t n;
+  double p;
+};
+
+class UnanimitySweep : public ::testing::TestWithParam<UnanimityCase> {};
+
+TEST_P(UnanimitySweep, MatchesClosedForm) {
+  const auto [n, p] = GetParam();
+  double direct = std::pow(1.0 - p, static_cast<double>(n)) +
+                  std::pow(p, static_cast<double>(n));
+  EXPECT_NEAR(unanimity_probability(n, p), direct, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UnanimitySweep,
+    ::testing::Values(UnanimityCase{1, 0.5}, UnanimityCase{10, 0.01},
+                      UnanimityCase{100, 0.001}, UnanimityCase{1000, 0.3},
+                      UnanimityCase{100, 0.999}, UnanimityCase{5, 0.9}));
+
+}  // namespace
+}  // namespace xpuf

@@ -1,0 +1,125 @@
+// Tests for server-model persistence (the paper's server database).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "puf/authentication.hpp"
+#include "puf/model_store.hpp"
+#include "sim/population.hpp"
+
+namespace xpuf::puf {
+namespace {
+
+class ModelStoreTest : public ::testing::Test {
+ protected:
+  ModelStoreTest()
+      : path_((std::filesystem::temp_directory_path() /
+               ("xpuf_model_" + std::to_string(::getpid()) + ".csv"))
+                  .string()),
+        pop_(make_config()),
+        rng_(606) {
+    EnrollmentConfig cfg;
+    cfg.training_challenges = 1'000;
+    cfg.trials = 2'000;
+    model_ = Enroller(cfg).enroll(pop_.chip(0), rng_);
+    model_.set_betas(BetaFactors{0.83, 1.17});
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static sim::PopulationConfig make_config() {
+    sim::PopulationConfig cfg;
+    cfg.n_chips = 1;
+    cfg.n_pufs_per_chip = 3;
+    cfg.seed = 10101;
+    return cfg;
+  }
+
+  std::string path_;
+  sim::ChipPopulation pop_;
+  Rng rng_;
+  ServerModel model_;
+};
+
+TEST_F(ModelStoreTest, RoundTripIsBitExact) {
+  save_server_model(model_, path_);
+  const ServerModel loaded = load_server_model(path_);
+  EXPECT_EQ(loaded.chip_id(), model_.chip_id());
+  EXPECT_EQ(loaded.puf_count(), model_.puf_count());
+  EXPECT_EQ(loaded.stages(), model_.stages());
+  EXPECT_DOUBLE_EQ(loaded.betas().beta0, 0.83);
+  EXPECT_DOUBLE_EQ(loaded.betas().beta1, 1.17);
+  for (std::size_t p = 0; p < model_.puf_count(); ++p) {
+    EXPECT_EQ(loaded.puf(p).model.weights().raw(), model_.puf(p).model.weights().raw());
+    EXPECT_DOUBLE_EQ(loaded.puf(p).thresholds.thr0, model_.puf(p).thresholds.thr0);
+    EXPECT_DOUBLE_EQ(loaded.puf(p).thresholds.thr1, model_.puf(p).thresholds.thr1);
+    EXPECT_DOUBLE_EQ(loaded.puf(p).train_r_squared, model_.puf(p).train_r_squared);
+  }
+}
+
+TEST_F(ModelStoreTest, LoadedModelAuthenticatesLikeTheOriginal) {
+  save_server_model(model_, path_);
+  const ServerModel loaded = load_server_model(path_);
+  // Same RNG seed -> same issued batch -> same verdicts.
+  AuthenticationServer s1(model_, 3, {.challenge_count = 16});
+  AuthenticationServer s2(loaded, 3, {.challenge_count = 16});
+  Rng r1(42), r2(42);
+  const auto o1 = s1.authenticate(pop_.chip(0), sim::Environment::nominal(), r1);
+  const auto o2 = s2.authenticate(pop_.chip(0), sim::Environment::nominal(), r2);
+  EXPECT_EQ(o1.approved, o2.approved);
+  EXPECT_EQ(o1.mismatches, o2.mismatches);
+}
+
+TEST_F(ModelStoreTest, PredictionsSurviveTheRoundTrip) {
+  save_server_model(model_, path_);
+  const ServerModel loaded = load_server_model(path_);
+  Rng crng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto c = random_challenge(32, crng);
+    for (std::size_t p = 0; p < 3; ++p) {
+      EXPECT_DOUBLE_EQ(loaded.predict_soft(p, c), model_.predict_soft(p, c));
+      EXPECT_EQ(loaded.classify(p, c), model_.classify(p, c));
+    }
+  }
+}
+
+TEST_F(ModelStoreTest, RejectsWrongFormat) {
+  {
+    std::ofstream out(path_);
+    out << "just,some,random,csv\n1,2,3,4\n";
+  }
+  EXPECT_THROW(load_server_model(path_), ParseError);
+}
+
+TEST_F(ModelStoreTest, RejectsTruncatedFile) {
+  save_server_model(model_, path_);
+  // Drop the last PUF row.
+  const CsvData data = read_csv(path_);
+  {
+    CsvWriter out(path_, data.header);
+    for (std::size_t r = 0; r + 1 < data.rows.size(); ++r) out.write_row(data.rows[r]);
+  }
+  EXPECT_THROW(load_server_model(path_), ParseError);
+}
+
+TEST_F(ModelStoreTest, RejectsCorruptedNumbers) {
+  save_server_model(model_, path_);
+  CsvData data = read_csv(path_);
+  data.rows[0][1] = "not-a-number";
+  {
+    CsvWriter out(path_, data.header);
+    for (const auto& r : data.rows) out.write_row(r);
+  }
+  EXPECT_THROW(load_server_model(path_), ParseError);
+}
+
+TEST_F(ModelStoreTest, MissingFileThrows) {
+  EXPECT_THROW(load_server_model("/nonexistent/nowhere.csv"), ParseError);
+}
+
+}  // namespace
+}  // namespace xpuf::puf

@@ -1,0 +1,144 @@
+// Tests for the noise-bifurcation baseline extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "puf/enrollment.hpp"
+#include "puf/extensions/noise_bifurcation.hpp"
+#include "sim/population.hpp"
+
+namespace xpuf::puf {
+namespace {
+
+class BifurcationTest : public ::testing::Test {
+ protected:
+  BifurcationTest() : pop_(make_config()), rng_(77) {
+    EnrollmentConfig cfg;
+    cfg.training_challenges = 2'000;
+    cfg.trials = 5'000;
+    model_ = Enroller(cfg).enroll(pop_.chip(0), rng_);
+  }
+
+  static sim::PopulationConfig make_config() {
+    sim::PopulationConfig cfg;
+    cfg.n_chips = 2;
+    cfg.n_pufs_per_chip = 2;
+    cfg.seed = 888;
+    return cfg;
+  }
+
+  sim::ChipPopulation pop_;
+  Rng rng_;
+  ServerModel model_;
+};
+
+TEST_F(BifurcationTest, ExchangeShapesMatchConfig) {
+  NoiseBifurcationConfig cfg;
+  cfg.group_size = 3;
+  cfg.groups = 20;
+  const BifurcationTranscript t =
+      run_bifurcation_exchange(pop_.chip(0), cfg, sim::Environment::nominal(), rng_);
+  ASSERT_EQ(t.groups.size(), 20u);
+  for (const auto& g : t.groups) {
+    ASSERT_EQ(g.challenges.size(), 3u);
+    for (const auto& c : g.challenges) EXPECT_EQ(c.size(), pop_.chip(0).stages());
+  }
+}
+
+TEST_F(BifurcationTest, ConfigIsValidated) {
+  NoiseBifurcationConfig bad;
+  bad.group_size = 0;
+  EXPECT_THROW(
+      run_bifurcation_exchange(pop_.chip(0), bad, sim::Environment::nominal(), rng_),
+      std::invalid_argument);
+  bad = NoiseBifurcationConfig{};
+  bad.groups = 0;
+  EXPECT_THROW(
+      run_bifurcation_exchange(pop_.chip(0), bad, sim::Environment::nominal(), rng_),
+      std::invalid_argument);
+}
+
+TEST_F(BifurcationTest, GenuineDevicePassesMostGroups) {
+  NoiseBifurcationConfig cfg;
+  cfg.group_size = 2;
+  cfg.groups = 200;
+  const auto t =
+      run_bifurcation_exchange(pop_.chip(0), cfg, sim::Environment::nominal(), rng_);
+  const double pass = verify_bifurcation(model_, 2, t);
+  EXPECT_GT(pass, 0.9);
+  EXPECT_GT(pass, bifurcation_accept_threshold(2));
+}
+
+TEST_F(BifurcationTest, CounterfeitPassesNearTheoreticalRate) {
+  NoiseBifurcationConfig cfg;
+  cfg.group_size = 2;
+  cfg.groups = 600;
+  const auto t =
+      run_bifurcation_exchange(pop_.chip(1), cfg, sim::Environment::nominal(), rng_);
+  const double pass = verify_bifurcation(model_, 2, t);
+  // Counterfeit: each group passes when the random-ish bit matches at least
+  // one of 2 predictions -> ~1 - 2^-2 = 0.75.
+  EXPECT_NEAR(pass, 0.75, 0.07);
+  EXPECT_LT(pass, bifurcation_accept_threshold(2));
+}
+
+TEST_F(BifurcationTest, ThresholdSeparatesTheTwoPopulations) {
+  for (std::size_t d : {1u, 2u, 3u, 5u}) {
+    const double thr = bifurcation_accept_threshold(d);
+    const double counterfeit = 1.0 - std::pow(0.5, static_cast<double>(d));
+    EXPECT_GT(thr, counterfeit);
+    EXPECT_LT(thr, 1.0);
+  }
+  EXPECT_THROW(bifurcation_accept_threshold(0), std::invalid_argument);
+}
+
+TEST_F(BifurcationTest, AttackDatasetAttributesBitToEveryMember) {
+  NoiseBifurcationConfig cfg;
+  cfg.group_size = 4;
+  cfg.groups = 25;
+  const auto t =
+      run_bifurcation_exchange(pop_.chip(0), cfg, sim::Environment::nominal(), rng_);
+  const ml::Dataset data = bifurcation_attack_dataset({t});
+  EXPECT_EQ(data.size(), 100u);  // 25 groups x 4 members
+  EXPECT_EQ(data.features(), pop_.chip(0).stages() + 1);
+  // Every member of a group carries the same label.
+  for (std::size_t g = 0; g < 25; ++g)
+    for (std::size_t m = 1; m < 4; ++m)
+      EXPECT_DOUBLE_EQ(data.y[g * 4 + m], data.y[g * 4]);
+}
+
+TEST_F(BifurcationTest, AttackDatasetLabelNoiseGrowsWithGroupSize) {
+  // Against the true (stable-side) device responses, the transcript labels
+  // are exact for d=1 and increasingly wrong for larger d.
+  for (std::size_t d : {1u, 4u}) {
+    NoiseBifurcationConfig cfg;
+    cfg.group_size = d;
+    cfg.groups = 2'000 / d;
+    const auto t =
+        run_bifurcation_exchange(pop_.chip(0), cfg, sim::Environment::nominal(), rng_);
+    std::size_t wrong = 0, total = 0;
+    for (const auto& g : t.groups) {
+      for (const auto& c : g.challenges) {
+        // Noise-free ground truth of the XOR (analysis access).
+        bool truth = false;
+        for (std::size_t p = 0; p < 2; ++p)
+          truth ^= pop_.chip(0).device_for_analysis(p).delay_difference(
+                       c, sim::Environment::nominal()) > 0.0;
+        ++total;
+        if (truth != g.response) ++wrong;
+      }
+    }
+    const double noise = static_cast<double>(wrong) / static_cast<double>(total);
+    if (d == 1) EXPECT_LT(noise, 0.08);   // only thermal noise
+    else EXPECT_NEAR(noise, 0.375, 0.06); // (d-1)/d * 50% label noise
+  }
+}
+
+TEST_F(BifurcationTest, EmptyInputsAreRejected) {
+  EXPECT_THROW(verify_bifurcation(model_, 2, BifurcationTranscript{}),
+               std::invalid_argument);
+  EXPECT_THROW(bifurcation_attack_dataset({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xpuf::puf

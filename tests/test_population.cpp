@@ -1,0 +1,93 @@
+// Tests for the simulated fab lot.
+#include <gtest/gtest.h>
+
+#include "sim/population.hpp"
+
+namespace xpuf::sim {
+namespace {
+
+TEST(Population, HonorsConfiguration) {
+  PopulationConfig cfg;
+  cfg.n_chips = 4;
+  cfg.n_pufs_per_chip = 3;
+  cfg.device.stages = 16;
+  const ChipPopulation pop(cfg);
+  EXPECT_EQ(pop.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pop.chip(i).puf_count(), 3u);
+    EXPECT_EQ(pop.chip(i).stages(), 16u);
+    EXPECT_EQ(pop.chip(i).id(), i);
+  }
+}
+
+TEST(Population, RejectsEmptyLot) {
+  PopulationConfig cfg;
+  cfg.n_chips = 0;
+  EXPECT_THROW(ChipPopulation{cfg}, std::invalid_argument);
+}
+
+TEST(Population, ChipsAreDistinctDevices) {
+  PopulationConfig cfg;
+  cfg.n_chips = 2;
+  cfg.n_pufs_per_chip = 1;
+  const ChipPopulation pop(cfg);
+  Rng rng(1);
+  const auto c = random_challenge(pop.chip(0).stages(), rng);
+  const double d0 =
+      pop.chip(0).device_for_analysis(0).delay_difference(c, Environment::nominal());
+  const double d1 =
+      pop.chip(1).device_for_analysis(0).delay_difference(c, Environment::nominal());
+  EXPECT_NE(d0, d1);
+}
+
+TEST(Population, SameSeedSameLot) {
+  PopulationConfig cfg;
+  cfg.n_chips = 2;
+  cfg.seed = 77;
+  const ChipPopulation a(cfg), b(cfg);
+  Rng rng(2);
+  const auto c = random_challenge(a.chip(0).stages(), rng);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t p = 0; p < a.chip(i).puf_count(); ++p)
+      EXPECT_DOUBLE_EQ(a.chip(i).device_for_analysis(p).delay_difference(
+                           c, Environment::nominal()),
+                       b.chip(i).device_for_analysis(p).delay_difference(
+                           c, Environment::nominal()));
+}
+
+TEST(Population, DifferentSeedDifferentLot) {
+  PopulationConfig cfg1;
+  cfg1.n_chips = 1;
+  cfg1.seed = 1;
+  PopulationConfig cfg2 = cfg1;
+  cfg2.seed = 2;
+  const ChipPopulation a(cfg1), b(cfg2);
+  Rng rng(3);
+  const auto c = random_challenge(a.chip(0).stages(), rng);
+  EXPECT_NE(
+      a.chip(0).device_for_analysis(0).delay_difference(c, Environment::nominal()),
+      b.chip(0).device_for_analysis(0).delay_difference(c, Environment::nominal()));
+}
+
+TEST(Population, IndexIsValidated) {
+  PopulationConfig cfg;
+  cfg.n_chips = 1;
+  ChipPopulation pop(cfg);
+  EXPECT_THROW(pop.chip(1), std::invalid_argument);
+  const ChipPopulation& cpop = pop;
+  EXPECT_THROW(cpop.chip(1), std::invalid_argument);
+}
+
+TEST(Population, MeasurementRngIsDecoupledFromFabrication) {
+  PopulationConfig cfg;
+  cfg.n_chips = 1;
+  cfg.seed = 5;
+  const ChipPopulation pop(cfg);
+  Rng m1 = pop.measurement_rng();
+  Rng fab(cfg.seed);
+  // The first draws must differ (different stream).
+  EXPECT_NE(m1.next_u64(), fab.next_u64());
+}
+
+}  // namespace
+}  // namespace xpuf::sim

@@ -1,0 +1,109 @@
+// Tests for the response-stream randomness screeners.
+#include <gtest/gtest.h>
+
+#include "analysis/randomness.hpp"
+#include "common/rng.hpp"
+#include "sim/population.hpp"
+
+namespace xpuf::analysis {
+namespace {
+
+TEST(Randomness, RequiresEnoughBits) {
+  EXPECT_THROW(assess_randomness(std::vector<bool>(50, false)), std::invalid_argument);
+}
+
+TEST(Randomness, FairCoinPasses) {
+  Rng rng(1);
+  std::vector<bool> bits(20'000);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = rng.bernoulli();
+  const RandomnessReport r = assess_randomness(bits);
+  EXPECT_TRUE(r.passes()) << "monobit=" << r.monobit_p << " runs=" << r.runs_p
+                          << " ac=" << r.serial_correlation;
+  EXPECT_NEAR(r.ones_fraction, 0.5, 0.02);
+}
+
+TEST(Randomness, ConstantStreamFailsEverything) {
+  const std::vector<bool> bits(1'000, true);
+  const RandomnessReport r = assess_randomness(bits);
+  EXPECT_FALSE(r.passes());
+  EXPECT_LT(r.monobit_p, 1e-6);
+  EXPECT_DOUBLE_EQ(r.ones_fraction, 1.0);
+}
+
+TEST(Randomness, BiasedStreamFailsMonobit) {
+  Rng rng(2);
+  std::vector<bool> bits(5'000);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = rng.bernoulli(0.6);
+  const RandomnessReport r = assess_randomness(bits);
+  EXPECT_LT(r.monobit_p, 0.01);
+  EXPECT_FALSE(r.passes());
+}
+
+TEST(Randomness, AlternatingStreamFailsRunsAndCorrelation) {
+  std::vector<bool> bits(2'000);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = (i % 2 == 0);
+  const RandomnessReport r = assess_randomness(bits);
+  // Perfect balance passes monobit, but runs/correlation scream.
+  EXPECT_GT(r.monobit_p, 0.5);
+  EXPECT_LT(r.runs_p, 1e-6);
+  EXPECT_NEAR(r.serial_correlation, -1.0, 1e-6);
+  EXPECT_FALSE(r.passes());
+}
+
+TEST(Randomness, StickyStreamFailsCorrelation) {
+  // Markov chain with strong persistence.
+  Rng rng(3);
+  std::vector<bool> bits(5'000);
+  bool state = false;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (rng.bernoulli(0.1)) state = !state;
+    bits[i] = state;
+  }
+  const RandomnessReport r = assess_randomness(bits);
+  EXPECT_GT(r.serial_correlation, 0.5);
+  EXPECT_FALSE(r.passes());
+}
+
+TEST(Randomness, XorPufResponsesPassTheScreeners) {
+  // Responses of a 4-XOR PUF over random challenges look like coin flips
+  // (the XOR washes out per-device bias).
+  sim::PopulationConfig cfg;
+  cfg.n_chips = 1;
+  cfg.n_pufs_per_chip = 4;
+  cfg.seed = 88;
+  sim::ChipPopulation pop(cfg);
+  Rng rng(4);
+  std::vector<bool> bits;
+  bits.reserve(10'000);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto c = sim::random_challenge(32, rng);
+    bits.push_back(pop.chip(0).xor_response(c, sim::Environment::nominal(), rng));
+  }
+  const RandomnessReport r = assess_randomness(bits);
+  EXPECT_TRUE(r.passes(0.001)) << "monobit=" << r.monobit_p << " runs=" << r.runs_p
+                               << " ac=" << r.serial_correlation;
+}
+
+TEST(Randomness, SingleArbiterPufShowsItsBias) {
+  // A single arbiter PUF carries a per-device bias (the constant weight
+  // term); the monobit screener should flag a strongly-biased device.
+  sim::PopulationConfig cfg;
+  cfg.n_chips = 8;
+  cfg.n_pufs_per_chip = 1;
+  cfg.seed = 89;
+  sim::ChipPopulation pop(cfg);
+  Rng rng(5);
+  double worst_monobit = 1.0;
+  for (std::size_t k = 0; k < pop.size(); ++k) {
+    std::vector<bool> bits;
+    for (int i = 0; i < 5'000; ++i) {
+      const auto c = sim::random_challenge(32, rng);
+      bits.push_back(pop.chip(k).xor_response(c, sim::Environment::nominal(), rng));
+    }
+    worst_monobit = std::min(worst_monobit, assess_randomness(bits).monobit_p);
+  }
+  EXPECT_LT(worst_monobit, 0.01);  // at least one chip in 8 is visibly biased
+}
+
+}  // namespace
+}  // namespace xpuf::analysis

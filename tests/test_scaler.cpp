@@ -1,0 +1,75 @@
+// Tests for feature standardization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ml/scaler.hpp"
+
+namespace xpuf::ml {
+namespace {
+
+TEST(StandardScaler, TransformedColumnsHaveZeroMeanUnitVar) {
+  Rng rng(1);
+  linalg::Matrix x(200, 3);
+  for (std::size_t r = 0; r < 200; ++r) {
+    x(r, 0) = rng.normal(5.0, 2.0);
+    x(r, 1) = rng.normal(-1.0, 0.5);
+    x(r, 2) = rng.uniform(0.0, 10.0);
+  }
+  StandardScaler scaler;
+  const linalg::Matrix t = scaler.fit_transform(x);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double m = 0.0, v = 0.0;
+    for (std::size_t r = 0; r < 200; ++r) m += t(r, c);
+    m /= 200.0;
+    for (std::size_t r = 0; r < 200; ++r) v += (t(r, c) - m) * (t(r, c) - m);
+    v /= 200.0;
+    EXPECT_NEAR(m, 0.0, 1e-10);
+    EXPECT_NEAR(v, 1.0, 1e-10);
+  }
+}
+
+TEST(StandardScaler, InverseTransformRoundTrips) {
+  Rng rng(2);
+  linalg::Matrix x(50, 2);
+  for (std::size_t r = 0; r < 50; ++r)
+    for (std::size_t c = 0; c < 2; ++c) x(r, c) = rng.normal(3.0, 4.0);
+  StandardScaler scaler;
+  const linalg::Matrix t = scaler.fit_transform(x);
+  const linalg::Matrix back = scaler.inverse_transform(t);
+  EXPECT_LT(linalg::max_abs_diff(back, x), 1e-10);
+}
+
+TEST(StandardScaler, ConstantColumnGetsUnitScale) {
+  linalg::Matrix x(10, 1, 7.0);
+  StandardScaler scaler;
+  const linalg::Matrix t = scaler.fit_transform(x);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_DOUBLE_EQ(t(r, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaler.scale()[0], 1.0);
+}
+
+TEST(StandardScaler, TransformAppliesTrainStatisticsToNewData) {
+  linalg::Matrix train(2, 1);
+  train(0, 0) = 0.0;
+  train(1, 0) = 2.0;  // mean 1, population sd 1
+  StandardScaler scaler;
+  scaler.fit(train);
+  linalg::Matrix test(1, 1);
+  test(0, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(scaler.transform(test)(0, 0), 2.0);
+}
+
+TEST(StandardScaler, ErrorsOnMisuse) {
+  StandardScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+  EXPECT_THROW(scaler.transform(linalg::Matrix(1, 1)), std::invalid_argument);
+  EXPECT_THROW(scaler.inverse_transform(linalg::Matrix(1, 1)), std::invalid_argument);
+  EXPECT_THROW(scaler.fit(linalg::Matrix(0, 2)), std::invalid_argument);
+  scaler.fit(linalg::Matrix(3, 2, 1.0));
+  EXPECT_TRUE(scaler.fitted());
+  EXPECT_THROW(scaler.transform(linalg::Matrix(3, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace xpuf::ml

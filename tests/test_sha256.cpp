@@ -1,0 +1,69 @@
+// SHA-256 against FIPS 180-4 / NIST test vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace xpuf::crypto {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(sha256(std::string())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(sha256(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(sha256(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  const std::string m(1'000'000, 'a');
+  EXPECT_EQ(to_hex(sha256(m)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55 bytes (padding fits in one block), 56 bytes (forces a second block),
+  // 64 bytes (full block + padding block).
+  EXPECT_EQ(to_hex(sha256(std::string(55, 'x'))),
+            to_hex(sha256(std::string(55, 'x'))));
+  const Digest d56 = sha256(std::string(56, 'y'));
+  const Digest d64 = sha256(std::string(64, 'z'));
+  EXPECT_NE(to_hex(d56), to_hex(d64));
+  // Known vector: 56 x 'a'.
+  EXPECT_EQ(to_hex(sha256(std::string(56, 'a'))),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) {
+    const auto byte = static_cast<std::uint8_t>(c);
+    h.update(&byte, 1);
+  }
+  EXPECT_EQ(to_hex(h.finish()), to_hex(sha256(msg)));
+}
+
+TEST(Sha256, SmallInputChangesAvalanche) {
+  const Digest a = sha256(std::string("message A"));
+  const Digest b = sha256(std::string("message B"));
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    differing_bits += __builtin_popcount(static_cast<unsigned>(a[i] ^ b[i]));
+  EXPECT_GT(differing_bits, 80);  // ~128 expected
+}
+
+TEST(Sha256, VectorOverloadMatches) {
+  const std::vector<std::uint8_t> bytes{'a', 'b', 'c'};
+  EXPECT_EQ(to_hex(sha256(bytes)), to_hex(sha256(std::string("abc"))));
+}
+
+}  // namespace
+}  // namespace xpuf::crypto

@@ -1,0 +1,131 @@
+// Tests for temporal majority voting and its comparison against the
+// paper's challenge-selection approach.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "puf/enrollment.hpp"
+#include "puf/selection.hpp"
+#include "puf/stabilization.hpp"
+#include "sim/population.hpp"
+
+namespace xpuf::puf {
+namespace {
+
+sim::ChipPopulation make_pop(std::size_t n_pufs, std::uint64_t seed = 4242) {
+  sim::PopulationConfig cfg;
+  cfg.n_chips = 1;
+  cfg.n_pufs_per_chip = n_pufs;
+  cfg.seed = seed;
+  return sim::ChipPopulation(cfg);
+}
+
+TEST(MajorityVoteError, DegenerateAndSymmetry) {
+  EXPECT_DOUBLE_EQ(majority_vote_error(0.0, 11), 0.0);
+  EXPECT_DOUBLE_EQ(majority_vote_error(1.0, 11), 0.0);
+  EXPECT_NEAR(majority_vote_error(0.2, 9), majority_vote_error(0.8, 9), 1e-12);
+  // A fair coin stays fair: error = 1/2 regardless of votes.
+  EXPECT_NEAR(majority_vote_error(0.5, 101), 0.5, 1e-9);
+}
+
+TEST(MajorityVoteError, MatchesHandComputedThreeVotes) {
+  // k = 3, q = 0.1: error = P[Bin(3, .1) >= 2] = 3*.01*.9 + .001 = 0.028.
+  EXPECT_NEAR(majority_vote_error(0.1, 3), 0.028, 1e-12);
+}
+
+TEST(MajorityVoteError, DecreasesWithVotesForBiasedBits) {
+  double prev = 1.0;
+  for (std::uint64_t k : {1ull, 3ull, 7ull, 15ull, 31ull}) {
+    const double e = majority_vote_error(0.2, k);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+  EXPECT_LT(prev, 1e-3);
+}
+
+TEST(MajorityVoteError, Validates) {
+  EXPECT_THROW(majority_vote_error(1.5, 3), std::invalid_argument);
+  EXPECT_THROW(majority_vote_error(0.5, 4), std::invalid_argument);  // even
+  EXPECT_THROW(majority_vote_error(0.5, 0), std::invalid_argument);
+}
+
+TEST(MajorityVote, ResponseValidatesConfig) {
+  const auto pop = make_pop(2);
+  Rng rng(1);
+  const auto c = sim::random_challenge(32, rng);
+  MajorityVoteConfig bad;
+  bad.votes = 4;
+  EXPECT_THROW(
+      majority_vote_response(pop.chip(0), c, sim::Environment::nominal(), bad, rng),
+      std::invalid_argument);
+}
+
+TEST(MajorityVote, ReducesButDoesNotEliminateXorErrors) {
+  const auto pop = make_pop(4);
+  Rng rng(2);
+  const StabilizationComparison cmp = compare_majority_vote(
+      pop.chip(0), 2'500, sim::Environment::nominal(), {.votes = 11}, rng);
+  // Voting helps substantially...
+  EXPECT_LT(cmp.voted_error, cmp.one_shot_error * 0.7);
+  // ...but the near-0.5 CRPs keep a floor: voting cannot reach zero.
+  EXPECT_GT(cmp.voted_error, 0.0);
+}
+
+TEST(MajorityVote, SelectionBeatsVotingOnErrorRate) {
+  // The paper's approach reaches an exactly-zero error rate on its selected
+  // set; TMV at a practical k does not, on random challenges.
+  const auto pop = make_pop(4, 777);
+  Rng rng(3);
+  EnrollmentConfig ecfg;
+  ecfg.training_challenges = 2'500;
+  ecfg.trials = 4'000;
+  ServerModel model = Enroller(ecfg).enroll(pop.chip(0), rng);
+  model.set_betas(BetaFactors{0.8, 1.2});
+  ModelBasedSelector selector(model, 4);
+  const SelectionResult sel = selector.select(300, rng);
+
+  std::size_t selection_errors = 0;
+  for (std::size_t i = 0; i < sel.challenges.size(); ++i) {
+    // One-shot read of selected CRPs vs server expectation.
+    if (pop.chip(0).xor_response(sel.challenges[i], sim::Environment::nominal(), rng) !=
+        sel.expected_responses[i])
+      ++selection_errors;
+  }
+  const StabilizationComparison tmv = compare_majority_vote(
+      pop.chip(0), 2'000, sim::Environment::nominal(), {.votes = 11}, rng);
+  EXPECT_EQ(selection_errors, 0u);
+  EXPECT_GT(tmv.voted_error, 0.0);
+}
+
+TEST(MajorityVote, EmpiricalErrorTracksTheory) {
+  // For a single arbiter PUF and a fixed challenge with known p, the
+  // majority-vote error must match the closed form.
+  const auto pop = make_pop(1, 31);
+  Rng rng(4);
+  const auto env = sim::Environment::nominal();
+  // Find a moderately unstable challenge.
+  sim::Challenge c;
+  double p = 0.0;
+  for (int i = 0; i < 5'000; ++i) {
+    c = sim::random_challenge(32, rng);
+    p = pop.chip(0).device_for_analysis(0).one_probability(c, env);
+    if (p > 0.6 && p < 0.8) break;
+  }
+  ASSERT_GT(p, 0.6);
+  const std::uint64_t k = 7;
+  const double predicted = majority_vote_error(p, k);
+  int errors = 0;
+  const int trials = 4'000;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t ones = 0;
+    for (std::uint64_t v = 0; v < k; ++v)
+      if (pop.chip(0).device_for_analysis(0).evaluate(c, env, rng)) ++ones;
+    const bool voted = 2 * ones > k;
+    if (voted != (p >= 0.5)) ++errors;
+  }
+  EXPECT_NEAR(static_cast<double>(errors) / trials, predicted, 0.02);
+}
+
+}  // namespace
+}  // namespace xpuf::puf
