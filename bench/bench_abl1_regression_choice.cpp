@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Ablation 1: linear-on-soft vs logistic-on-hard enrollment", scale);
+  benchutil::BenchTimer timing("abl1_regression_choice", scale.challenges);
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

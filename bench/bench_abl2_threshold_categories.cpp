@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Ablation 2: three-category thresholds vs binary 0.5 threshold",
                     scale);
+  benchutil::BenchTimer timing("abl2_threshold_categories", scale.challenges);
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Ablation 3: yield vs residual instability over the beta grid",
                     scale);
+  benchutil::BenchTimer timing("abl3_beta_sweep", scale.challenges);
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Ablation 4: stable-CRP survival and zero-HD auth under aging",
                     scale);
+  benchutil::BenchTimer timing("abl4_aging", scale.challenges);
 
   const std::size_t n_pufs = 10;
   sim::PopulationConfig pcfg = benchutil::population_config(scale, n_pufs);

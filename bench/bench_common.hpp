@@ -1,13 +1,18 @@
 // Shared plumbing for the reproduction benches: standard population
-// construction from the CLI scale, output-directory handling, and the
-// header every bench prints so runs are self-describing.
+// construction from the CLI scale, output-directory handling, wall-clock
+// timing artifacts, and the header every bench prints so runs are
+// self-describing.
 #pragma once
 
+#include <cstdio>
 #include <string>
+#include <utility>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "sim/population.hpp"
 
 namespace xpuf::benchutil {
@@ -28,16 +33,59 @@ inline sim::PopulationConfig population_config(const BenchScale& scale,
 /// Directory for CSV artifacts (created on demand).
 inline std::string out_dir() { return ensure_directory("bench_out"); }
 
-/// Prints the standard bench banner.
+/// Prints the standard bench banner and sizes the global thread pool from
+/// the resolved scale (--threads / XPUF_THREADS). Thread count affects only
+/// wall-clock time, never results.
 inline void banner(const std::string& experiment, const BenchScale& scale) {
+  ThreadPool::set_global_threads(scale.threads);
   std::printf("== %s ==\n", experiment.c_str());
-  std::printf("scale: %s | challenges=%llu trials=%llu chips=%llu\n",
+  std::printf("scale: %s | challenges=%llu trials=%llu chips=%llu threads=%llu\n",
               scale.full ? "FULL (paper)" : "reduced",
               static_cast<unsigned long long>(scale.challenges),
               static_cast<unsigned long long>(scale.trials),
-              static_cast<unsigned long long>(scale.chips));
+              static_cast<unsigned long long>(scale.chips),
+              static_cast<unsigned long long>(ThreadPool::global_threads()));
   std::printf("(paper scale: 1,000,000 challenges x 100,000 evaluations, 10 chips; "
               "run with --scale full or XPUF_BENCH_SCALE=full)\n\n");
 }
+
+/// Machine-readable perf trajectory: scoped wall-clock timer that writes
+/// bench_out/<name>_timing.json on destruction, so every bench run leaves a
+/// {"name", "seconds", "threads", "items"} record comparable across PRs and
+/// thread counts.
+class BenchTimer {
+ public:
+  /// `items` is the bench's own unit of work (challenges measured, CRPs
+  /// trained, ...); refine later with set_items if it is only known at the
+  /// end of the run.
+  BenchTimer(std::string name, std::uint64_t items)
+      : name_(std::move(name)), items_(items) {}
+
+  BenchTimer(const BenchTimer&) = delete;
+  BenchTimer& operator=(const BenchTimer&) = delete;
+
+  void set_items(std::uint64_t items) { items_ = items; }
+
+  ~BenchTimer() {
+    const double seconds = timer_.seconds();
+    const std::string path = out_dir() + "/" + name_ + "_timing.json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f,
+                   "{\"name\": \"%s\", \"seconds\": %.6f, \"threads\": %llu, "
+                   "\"items\": %llu}\n",
+                   name_.c_str(), seconds,
+                   static_cast<unsigned long long>(ThreadPool::global_threads()),
+                   static_cast<unsigned long long>(items_));
+      std::fclose(f);
+      std::printf("timing written: %s (%.3f s, %llu threads)\n", path.c_str(), seconds,
+                  static_cast<unsigned long long>(ThreadPool::global_threads()));
+    }
+  }
+
+ private:
+  std::string name_;
+  Timer timer_;
+  std::uint64_t items_;
+};
 
 }  // namespace xpuf::benchutil

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Ext 1: noise-bifurcation tradeoff (attack hardness vs criterion)",
                     scale);
+  benchutil::BenchTimer timing("ext1_noise_bifurcation", scale.challenges);
 
   const std::size_t n_pufs = 2;  // small XOR width so the baseline attack succeeds
   sim::ChipPopulation pop(benchutil::population_config(scale, n_pufs));

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Ext 2: reliability attack (Becker [9]) vs stable-only transcripts",
                     scale);
+  benchutil::BenchTimer timing("ext2_reliability_attack", scale.challenges);
 
   Table t("Reliability CMA-ES attack outcome per XOR width "
           "(free queries vs stable-only protocol transcripts)");

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Ext 3: fuzzy-extractor code budget vs challenge selection", scale);
+  benchutil::BenchTimer timing("ext3_key_generation", scale.challenges);
 
   const std::size_t n_pufs = 10;
   sim::PopulationConfig pcfg = benchutil::population_config(scale, n_pufs);

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Fig 3: stable-CRP fraction vs XOR width n, 0.9V/25C", scale);
+  benchutil::BenchTimer timing("fig03_stable_vs_n", scale.challenges);
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Fig 4: MLP attack accuracy vs training size and n", scale);
+  benchutil::BenchTimer timing("fig04_modeling_attack", scale.attack_max_train);
 
   std::vector<std::size_t> widths;
   std::vector<std::size_t> train_sizes;
@@ -92,6 +93,7 @@ int main(int argc, char** argv) {
     t.add_row(row);
   }
   t.print();
+  timing.set_items(static_cast<std::uint64_t>(total_crps));
   if (total_crps > 0.0)
     std::printf("\naverage training speed: %.3f ms per CRP (paper: 0.395 ms/CRP)\n",
                 total_ms / total_crps);

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Fig 8: measured vs model-predicted soft response, 5,000 CRPs",
                     scale);
+  benchutil::BenchTimer timing("fig08_threshold_extraction", scale.challenges);
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

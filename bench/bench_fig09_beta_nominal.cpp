@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Fig 9: beta threshold scaling at nominal corner", scale);
+  benchutil::BenchTimer timing("fig09_beta_nominal", scale.challenges);
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Fig 10: stable-CRP probability vs training-set size", scale);
+  benchutil::BenchTimer timing("fig10_training_size", scale.challenges);
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Fig 11: beta adjustment across the 9-corner V/T grid", scale);
+  benchutil::BenchTimer timing("fig11_beta_vt", scale.challenges);
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Fig 12: stable-CRP probability vs n under three regimes", scale);
+  benchutil::BenchTimer timing("fig12_stable_predicted", scale.challenges);
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

@@ -1,0 +1,72 @@
+// Scan-throughput harness for the parallel execution layer.
+//
+// Times ChipTester::scan_individual over the acceptance workload (default
+// 100,000 challenges x 4 PUFs) at the requested thread count and proves the
+// determinism contract on the spot: the scan is repeated with a single
+// lane and the two ChipSoftScan results are compared bit-for-bit. The
+// timing JSON (bench_out/scan_throughput_timing.json) is the perf record
+// compared across PRs and thread counts.
+//
+//   ./bench_scan_throughput --threads 8
+//   ./bench_scan_throughput --threads 1   # serial baseline
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "sim/tester.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xpuf;
+  const Cli cli(argc, argv);
+  BenchScale scale = resolve_scale(cli);
+  // The acceptance workload: 100k challenges x 4 PUFs at a modest trial
+  // count keeps the run minutes-scale while still dominated by the
+  // binomial counter sampling the scan parallelizes over.
+  const auto n_pufs = static_cast<std::size_t>(cli.get_int("pufs", 4));
+  if (!cli.has("trials") && !scale.full) scale.trials = 1'000;
+  benchutil::banner("Scan throughput: parallel scan_individual", scale);
+  benchutil::BenchTimer timing("scan_throughput", scale.challenges * n_pufs);
+
+  sim::ChipPopulation pop(benchutil::population_config(scale, n_pufs));
+  Rng rng = pop.measurement_rng();
+  sim::ChipTester tester(sim::Environment::nominal(), scale.trials, rng.fork());
+  const auto challenges =
+      tester.random_challenges(pop.chip(0), static_cast<std::size_t>(scale.challenges));
+
+  Timer scan_timer;
+  const sim::ChipSoftScan scan = tester.scan_individual(pop.chip(0), challenges);
+  const double parallel_seconds = scan_timer.seconds();
+
+  // Determinism check: the same scan on one lane must be bit-identical.
+  // Re-seed an identical tester so both scans draw the same stream base.
+  ThreadPool::set_global_threads(1);
+  Rng rng2 = pop.measurement_rng();
+  sim::ChipTester serial_tester(sim::Environment::nominal(), scale.trials, rng2.fork());
+  const auto challenges2 =
+      serial_tester.random_challenges(pop.chip(0), static_cast<std::size_t>(scale.challenges));
+  scan_timer.reset();
+  const sim::ChipSoftScan serial_scan = serial_tester.scan_individual(pop.chip(0), challenges2);
+  const double serial_seconds = scan_timer.seconds();
+  ThreadPool::set_global_threads(scale.threads);
+
+  const bool identical =
+      scan.soft == serial_scan.soft && scan.stable == serial_scan.stable;
+
+  Table t("scan_individual throughput");
+  t.set_header({"metric", "value"});
+  t.add_row({"challenges", std::to_string(challenges.size())});
+  t.add_row({"pufs", std::to_string(n_pufs)});
+  t.add_row({"trials/challenge", std::to_string(scale.trials)});
+  t.add_row({"threads", std::to_string(scale.threads)});
+  t.add_row({"parallel scan [s]", Table::num(parallel_seconds, 3)});
+  t.add_row({"1-thread scan [s]", Table::num(serial_seconds, 3)});
+  t.add_row({"speedup", Table::num(serial_seconds / parallel_seconds, 2)});
+  t.add_row({"bit-identical across thread counts", identical ? "yes" : "NO"});
+  t.print();
+
+  if (!identical) {
+    std::fprintf(stderr, "ERROR: parallel scan diverged from the serial scan\n");
+    return 1;
+  }
+  return 0;
+}

@@ -6,9 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <map>
+#include <thread>
 #include <utility>
 
+#include "bench_common.hpp"
 #include "ml/linear_regression.hpp"
 #include "puf/attack.hpp"
 #include "puf/enrollment.hpp"
@@ -139,4 +143,33 @@ BENCHMARK(BM_ModelBasedChallengeSelection)->Arg(4)->Arg(10)->Unit(benchmark::kMi
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strips the repo-wide --threads
+// flag (google-benchmark would reject it as unrecognized), sizes the global
+// pool, and records the wall-clock timing artifact like every other bench.
+int main(int argc, char** argv) {
+  std::int64_t threads = 0;
+  if (const char* env = std::getenv("XPUF_THREADS"); env != nullptr && *env != '\0')
+    threads = std::atoll(env);
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoll(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoll(argv[i] + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (threads <= 0) threads = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  xpuf::ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  {
+    xpuf::benchutil::BenchTimer timing("tabA_training_time", 0);
+    timing.set_items(::benchmark::RunSpecifiedBenchmarks());
+  }
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Tab B: zero-HD authentication across V/T corners", scale);
+  benchutil::BenchTimer timing("tabB_authentication", scale.challenges);
 
   const std::size_t n_pufs = 10;
   sim::ChipPopulation pop(benchutil::population_config(scale, n_pufs));

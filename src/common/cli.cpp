@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <cstdlib>
+#include <thread>
 
 #include "common/error.hpp"
 
@@ -66,9 +67,9 @@ BenchScale resolve_scale(const Cli& cli) {
 
   BenchScale s{};
   if (full) {
-    s = {1'000'000, 100'000, 10, 100'000, true};
+    s = {1'000'000, 100'000, 10, 100'000, true, 0};
   } else {
-    s = {100'000, 10'000, 3, 20'000, false};
+    s = {100'000, 10'000, 3, 20'000, false, 0};
   }
   s.challenges = static_cast<std::uint64_t>(
       cli.get_int("challenges", static_cast<std::int64_t>(s.challenges)));
@@ -78,6 +79,16 @@ BenchScale resolve_scale(const Cli& cli) {
       cli.get_int("chips", static_cast<std::int64_t>(s.chips)));
   s.attack_max_train = static_cast<std::uint64_t>(
       cli.get_int("attack-max-train", static_cast<std::int64_t>(s.attack_max_train)));
+
+  // Thread count: --threads beats XPUF_THREADS beats hardware_concurrency
+  // (0 = let the pool pick hardware_concurrency).
+  std::int64_t threads = 0;
+  if (const char* env = std::getenv("XPUF_THREADS"); env != nullptr && *env != '\0')
+    threads = std::atoll(env);
+  threads = cli.get_int("threads", threads);
+  if (threads <= 0) threads = static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  if (threads <= 0) threads = 1;
+  s.threads = static_cast<std::uint64_t>(threads);
   return s;
 }
 

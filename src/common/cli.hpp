@@ -46,11 +46,15 @@ struct BenchScale {
   std::uint64_t chips;           ///< chips in the simulated fab lot
   std::uint64_t attack_max_train;///< largest attack training-set size
   bool full;                     ///< true when paper scale was requested
+  /// Execution lanes for the global thread pool (--threads / XPUF_THREADS;
+  /// defaults to hardware_concurrency). Thread count never changes results
+  /// — see common/parallel.hpp.
+  std::uint64_t threads;
 };
 
 /// Resolves the scale: --scale full/reduced beats XPUF_BENCH_SCALE, which
-/// beats the reduced default. Individual --challenges/--trials/--chips
-/// flags override preset fields.
+/// beats the reduced default. Individual --challenges/--trials/--chips/
+/// --threads flags override preset fields.
 BenchScale resolve_scale(const Cli& cli);
 
 }  // namespace xpuf

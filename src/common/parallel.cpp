@@ -1,0 +1,188 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace xpuf {
+
+namespace {
+// True inside a pool worker (or a body run by the calling thread); nested
+// parallel_for calls detect this and degrade to serial chunk execution.
+thread_local bool t_inside_body = false;
+}  // namespace
+
+/// One parallel_for invocation. Workers keep a shared_ptr to the job they
+/// joined, so a worker that wakes late (after the job completed and a new
+/// one started) can only touch its own, already-drained job.
+struct ThreadPool::Job {
+  ParallelBody body;
+  std::size_t n = 0;
+  std::size_t chunk = 0;
+  std::size_t n_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable job_done;
+  std::shared_ptr<Job> current;
+  std::uint64_t generation = 0;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : state_(std::make_unique<State>()) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  lanes_ = threads;
+  State& s = *state_;
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    s.workers.emplace_back([this, &s] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        std::shared_ptr<Job> job;
+        {
+          std::unique_lock<std::mutex> lock(s.mutex);
+          s.work_ready.wait(lock, [&] { return s.stopping || s.generation != seen; });
+          if (s.stopping) return;
+          seen = s.generation;
+          job = s.current;
+        }
+        if (!job) continue;
+        run_chunks(*job);
+        if (job->completed.load(std::memory_order_acquire) == job->n_chunks) {
+          std::lock_guard<std::mutex> lock(s.mutex);
+          s.job_done.notify_all();
+        }
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  State& s = *state_;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.stopping = true;
+  }
+  s.work_ready.notify_all();
+  for (auto& w : s.workers) w.join();
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  const bool was_inside = t_inside_body;
+  t_inside_body = true;
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.n_chunks) break;
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      const std::size_t begin = c * job.chunk;
+      const std::size_t end = std::min(job.n, begin + job.chunk);
+      try {
+        job.body(begin, end, c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    job.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+  t_inside_body = was_inside;
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t chunk, const ParallelBody& body) {
+  XPUF_REQUIRE(chunk > 0, "parallel_for needs a positive chunk size");
+  if (n == 0) return;
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+
+  // Serial path: single lane, a single chunk, or a nested call from inside a
+  // body. The chunk grid (and therefore every result) is identical to the
+  // parallel path.
+  if (lanes_ <= 1 || n_chunks == 1 || t_inside_body) {
+    const bool was_inside = t_inside_body;
+    t_inside_body = true;
+    try {
+      for (std::size_t c = 0; c < n_chunks; ++c)
+        body(c * chunk, std::min(n, (c + 1) * chunk), c);
+    } catch (...) {
+      t_inside_body = was_inside;
+      throw;
+    }
+    t_inside_body = was_inside;
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->body = body;
+  job->n = n;
+  job->chunk = chunk;
+  job->n_chunks = n_chunks;
+
+  State& s = *state_;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.current = job;
+    ++s.generation;
+  }
+  s.work_ready.notify_all();
+
+  run_chunks(*job);  // the caller is a lane too
+
+  {
+    std::unique_lock<std::mutex> lock(s.mutex);
+    s.job_done.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->n_chunks;
+    });
+    if (s.current == job) s.current.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+std::mutex& global_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  std::lock_guard<std::mutex> lock(global_pool_mutex());
+  auto& slot = global_pool_slot();
+  if (slot && slot->size() == threads) return;
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+std::size_t ThreadPool::global_threads() { return global().size(); }
+
+void parallel_for(std::size_t n, std::size_t chunk, const ParallelBody& body) {
+  ThreadPool::global().parallel_for(n, chunk, body);
+}
+
+}  // namespace xpuf

@@ -82,6 +82,14 @@ class Rng {
   /// parent draws have decorrelated streams.
   Rng fork();
 
+  /// One draw to key a StreamFamily: advances this generator exactly once,
+  /// regardless of how many child streams the family later hands out. This
+  /// is the anchor of the deterministic-parallelism convention (see
+  /// common/parallel.hpp): serial code that consumed a data-dependent number
+  /// of draws per work item cannot be parallelized reproducibly, but one
+  /// base draw + per-item keyed children can.
+  std::uint64_t fork_base() { return next_u64(); }
+
   /// Fisher-Yates shuffle of an index vector.
   template <typename T>
   void shuffle(std::vector<T>& v) {
@@ -99,6 +107,31 @@ class Rng {
 
   std::uint64_t poisson_knuth(double lambda);
   std::uint64_t binomial_inversion(std::uint64_t n, double p);
+};
+
+/// A deterministic family of decorrelated child streams keyed by item index.
+///
+/// stream(i) is a pure function of (base, i): unlike Rng::fork(), handing
+/// out a child does not mutate any state, so parallel work items can derive
+/// their streams in any order — chunked across any number of threads — and
+/// always see exactly the draws the serial loop would have given them.
+/// Distinct keys go through two rounds of splitmix64 mixing (one here, one
+/// in the Rng seed expansion), which decorrelates neighboring indices.
+class StreamFamily {
+ public:
+  /// `base` is typically one Rng::fork_base() draw from a parent stream.
+  explicit StreamFamily(std::uint64_t base) : base_(base) {}
+
+  /// The child stream for work item `index`.
+  Rng stream(std::uint64_t index) const {
+    SplitMix64 sm(base_ ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+    return Rng(sm.next());
+  }
+
+  std::uint64_t base() const { return base_; }
+
+ private:
+  std::uint64_t base_;
 };
 
 }  // namespace xpuf

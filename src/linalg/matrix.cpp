@@ -1,8 +1,10 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace xpuf::linalg {
 
@@ -84,6 +86,83 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
     }
   }
   return c;
+}
+
+namespace {
+// Row chunks for the parallel GEMM kernels. Fixed constants (independent of
+// the thread count) so partial-sum grids — and therefore floating-point
+// results — never change with the pool size.
+constexpr std::size_t kGemmRowChunk = 32;
+constexpr std::size_t kAccumRowChunk = 256;
+// Inner-dimension block: 64 doubles of A-row reused against all of B keeps
+// the working set of B rows in L1/L2.
+constexpr std::size_t kInnerBlock = 64;
+}  // namespace
+
+Matrix matmul_blocked(const Matrix& a, const Matrix& b) {
+  XPUF_REQUIRE(a.cols() == b.rows(), "matmul_blocked shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  const std::size_t inner = a.cols();
+  const std::size_t cols = b.cols();
+  parallel_for(a.rows(), kGemmRowChunk,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t kb = 0; kb < inner; kb += kInnerBlock) {
+                   const std::size_t kend = std::min(inner, kb + kInnerBlock);
+                   for (std::size_t i = begin; i < end; ++i) {
+                     const double* arow = a.row(i);
+                     double* crow = c.row(i);
+                     for (std::size_t k = kb; k < kend; ++k) {
+                       const double aik = arow[k];
+                       const double* brow = b.row(k);
+                       for (std::size_t j = 0; j < cols; ++j) crow[j] += aik * brow[j];
+                     }
+                   }
+                 }
+               });
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& bt) {
+  XPUF_REQUIRE(a.cols() == bt.cols(), "matmul_nt shape mismatch");
+  Matrix c(a.rows(), bt.rows());
+  const std::size_t inner = a.cols();
+  const std::size_t out = bt.rows();
+  parallel_for(a.rows(), kGemmRowChunk,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   const double* arow = a.row(i);
+                   double* crow = c.row(i);
+                   for (std::size_t j = 0; j < out; ++j) {
+                     const double* brow = bt.row(j);
+                     double s = 0.0;
+                     for (std::size_t k = 0; k < inner; ++k) s += arow[k] * brow[k];
+                     crow[j] = s;
+                   }
+                 }
+               });
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  XPUF_REQUIRE(a.rows() == b.rows(), "matmul_tn shape mismatch");
+  const std::size_t n = a.cols();
+  const std::size_t p = b.cols();
+  Matrix zero(n, p);
+  return parallel_reduce(
+      a.rows(), kAccumRowChunk, zero,
+      [&](Matrix& acc, std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const double* arow = a.row(r);
+          const double* brow = b.row(r);
+          for (std::size_t i = 0; i < n; ++i) {
+            const double ai = arow[i];
+            if (ai == 0.0) continue;
+            double* accrow = acc.row(i);
+            for (std::size_t j = 0; j < p; ++j) accrow[j] += ai * brow[j];
+          }
+        }
+      },
+      [](Matrix& acc, Matrix&& part) { acc += part; });
 }
 
 Matrix gram(const Matrix& a) {

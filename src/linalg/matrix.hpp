@@ -58,8 +58,29 @@ Vector matvec(const Matrix& a, const Vector& x);
 /// y = A^T x.
 Vector matvec_transposed(const Matrix& a, const Vector& x);
 
-/// C = A B (naive triple loop with row-major-friendly ordering).
+/// C = A B (naive triple loop with row-major-friendly ordering). Serial
+/// reference kernel; the blocked/parallel kernels below are tested against
+/// it.
 Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A B, cache-blocked over the inner dimension and parallelized over
+/// row blocks on the global thread pool. Each output element accumulates in
+/// ascending-k order regardless of blocking or thread count, so the result
+/// is bit-identical for 1..N threads.
+Matrix matmul_blocked(const Matrix& a, const Matrix& b);
+
+/// C = A B^T with B supplied already transposed: `bt` is (p x k) row-major,
+/// so c(i, j) = dot(a.row(i), bt.row(j)) runs over two contiguous rows —
+/// the cache-friendly layout for MLP forward passes (activations x weight
+/// rows). Parallel over rows of A; bit-identical for any thread count.
+Matrix matmul_nt(const Matrix& a, const Matrix& bt);
+
+/// C = A^T B (k x n times k x p -> n x p), the gradient-accumulation kernel
+/// (C = sum over rows r of outer(a.row(r), b.row(r))). Rows are sharded
+/// into fixed-size chunks whose partial sums are combined in ascending
+/// chunk order, so the result depends on the chunk grid but never on the
+/// thread count.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
 
 /// Gram matrix A^T A (symmetric, computed in the upper triangle and
 /// mirrored) — the normal-equations kernel for least squares.

@@ -1,11 +1,25 @@
 #include "ml/logistic_regression.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/parallel.hpp"
 
 namespace xpuf::ml {
+
+namespace {
+// Rows per gradient shard; fixed so the partial-sum grid (and the result
+// bits) never depends on the thread count.
+constexpr std::size_t kGradChunk = 512;
+
+/// Per-shard accumulator for the deterministic parallel reduction.
+struct LossGrad {
+  double loss = 0.0;
+  linalg::Vector grad;
+};
+}  // namespace
 
 LbfgsResult LogisticRegression::fit(const Dataset& data) {
   XPUF_REQUIRE(!data.empty(), "LogisticRegression::fit on empty dataset");
@@ -13,22 +27,33 @@ LbfgsResult LogisticRegression::fit(const Dataset& data) {
   const std::size_t d = data.features();
   const double inv_n = 1.0 / static_cast<double>(n);
 
-  // Mean cross-entropy with L2 penalty; gradient computed in one pass.
+  // Mean cross-entropy with L2 penalty; the gradient is accumulated in
+  // fixed row shards across the thread pool and the shard partials are
+  // combined in ascending order, so the objective is bit-identical for any
+  // thread count.
   Objective obj = [&](const linalg::Vector& w, linalg::Vector& grad) {
-    grad.fill(0.0);
-    double loss = 0.0;
-    for (std::size_t r = 0; r < n; ++r) {
-      const double* row = data.x.row(r);
-      double z = 0.0;
-      for (std::size_t c = 0; c < d; ++c) z += row[c] * w[c];
-      const double t = data.y[r] >= 0.5 ? 1.0 : 0.0;
-      // log(1 + exp(-z)) for t=1, log(1 + exp(z)) for t=0, via softplus.
-      loss += t > 0.5 ? softplus(-z) : softplus(z);
-      const double p = sigmoid(z);
-      const double err = (p - t) * inv_n;
-      for (std::size_t c = 0; c < d; ++c) grad[c] += err * row[c];
-    }
-    loss *= inv_n;
+    LossGrad zero;
+    zero.grad = linalg::Vector(d);
+    LossGrad total = parallel_reduce(
+        n, kGradChunk, zero,
+        [&](LossGrad& acc, std::size_t begin, std::size_t end) {
+          for (std::size_t r = begin; r < end; ++r) {
+            const double* row = data.x.row(r);
+            double z = 0.0;
+            for (std::size_t c = 0; c < d; ++c) z += row[c] * w[c];
+            const double t = data.y[r] >= 0.5 ? 1.0 : 0.0;
+            // log(1 + exp(-z)) for t=1, log(1 + exp(z)) for t=0, via softplus.
+            acc.loss += t > 0.5 ? softplus(-z) : softplus(z);
+            const double err = (sigmoid(z) - t) * inv_n;
+            for (std::size_t c = 0; c < d; ++c) acc.grad[c] += err * row[c];
+          }
+        },
+        [](LossGrad& acc, LossGrad&& part) {
+          acc.loss += part.loss;
+          acc.grad += part.grad;
+        });
+    double loss = total.loss * inv_n;
+    grad = std::move(total.grad);
     for (std::size_t c = 0; c < d; ++c) {
       loss += 0.5 * options_.l2 * w[c] * w[c];
       grad[c] += options_.l2 * w[c];

@@ -1,12 +1,31 @@
 #include "ml/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/parallel.hpp"
 
 namespace xpuf::ml {
+
+namespace {
+// Fixed row-chunk size for the parallel elementwise/loss passes; constant so
+// the partial-sum grid (and every result bit) is thread-count independent.
+constexpr std::size_t kRowChunk = 256;
+
+/// Copies one layer's weight block out of the flat parameter vector into an
+/// (out x in) row-major matrix so forward/backward are plain GEMM calls.
+linalg::Matrix weight_matrix(const linalg::Vector& params, std::size_t offset,
+                             std::size_t out, std::size_t in) {
+  linalg::Matrix w(out, in);
+  const double* src = params.data() + offset;
+  for (std::size_t i = 0; i < out; ++i)
+    for (std::size_t j = 0; j < in; ++j) w(i, j) = src[i * in + j];
+  return w;
+}
+}  // namespace
 
 Mlp::Mlp(std::size_t n_inputs, MlpOptions options) : options_(std::move(options)) {
   XPUF_REQUIRE(n_inputs > 0, "Mlp needs at least one input");
@@ -74,21 +93,21 @@ void Mlp::forward(const linalg::Matrix& x, const linalg::Vector& params,
   for (std::size_t l = 1; l < layers; ++l) {
     const std::size_t in = layer_sizes_[l - 1];
     const std::size_t out = layer_sizes_[l];
-    const double* w = params.data() + w_offset_[l - 1];
     const double* b = params.data() + b_offset_[l - 1];
     const bool is_output = (l == layers - 1);
-    linalg::Matrix a(n, out);
-    const linalg::Matrix& prev = activations[l - 1];
-    for (std::size_t r = 0; r < n; ++r) {
-      const double* prow = prev.row(r);
-      double* arow = a.row(r);
-      for (std::size_t i = 0; i < out; ++i) {
-        const double* wrow = w + i * in;
-        double z = b[i];
-        for (std::size_t j = 0; j < in; ++j) z += wrow[j] * prow[j];
-        arow[i] = is_output ? z : activate(z);
+    // z = prev . W^T as a transposed GEMM (W rows are contiguous), then a
+    // parallel bias-plus-activation sweep.
+    const linalg::Matrix w = weight_matrix(params, w_offset_[l - 1], out, in);
+    linalg::Matrix a = linalg::matmul_nt(activations[l - 1], w);
+    parallel_for(n, kRowChunk, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t r = begin; r < end; ++r) {
+        double* arow = a.row(r);
+        for (std::size_t i = 0; i < out; ++i) {
+          const double z = arow[i] + b[i];
+          arow[i] = is_output ? z : activate(z);
+        }
       }
-    }
+    });
     activations[l] = std::move(a);
   }
 }
@@ -108,51 +127,53 @@ double Mlp::loss_and_gradient(const linalg::Matrix& x, const linalg::Vector& y,
   grad.resize(params.size());
   grad.fill(0.0);
 
-  // BCE-with-logits loss and output delta.
-  double loss = 0.0;
+  // BCE-with-logits loss (chunked deterministic reduction) and output delta.
   linalg::Matrix delta(n, 1);
-  for (std::size_t r = 0; r < n; ++r) {
-    const double z = a[layers - 1](r, 0);
-    const double t = y[r] >= 0.5 ? 1.0 : 0.0;
-    loss += t > 0.5 ? softplus(-z) : softplus(z);
-    delta(r, 0) = (sigmoid(z) - t) * inv_n;
-  }
+  double loss = parallel_reduce(
+      n, kRowChunk, 0.0,
+      [&](double& acc, std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const double z = a[layers - 1](r, 0);
+          const double t = y[r] >= 0.5 ? 1.0 : 0.0;
+          acc += t > 0.5 ? softplus(-z) : softplus(z);
+          delta(r, 0) = (sigmoid(z) - t) * inv_n;
+        }
+      },
+      [](double& acc, double&& part) { acc += part; });
   loss *= inv_n;
 
-  // Backward pass: for each layer, accumulate dW/db from delta, then
-  // propagate delta to the previous layer through W and the activation.
+  // Backward pass as matrix products: dW = delta^T . prev is the sharded
+  // gradient accumulation (matmul_tn combines fixed row-chunk partials in
+  // chunk order), and the propagated delta is a row-parallel GEMM followed
+  // by the activation-derivative sweep.
   for (std::size_t l = layers - 1; l >= 1; --l) {
     const std::size_t in = layer_sizes_[l - 1];
     const std::size_t out = layer_sizes_[l];
-    const double* w = params.data() + w_offset_[l - 1];
     double* gw = grad.data() + w_offset_[l - 1];
     double* gb = grad.data() + b_offset_[l - 1];
     const linalg::Matrix& prev = a[l - 1];
 
+    const linalg::Matrix dw = linalg::matmul_tn(delta, prev);  // out x in
+    std::copy(dw.raw().begin(), dw.raw().end(), gw);
+    // Bias gradient: column sums of delta. O(n * out) — cheap next to the
+    // GEMMs, and serial accumulation keeps the order fixed.
     for (std::size_t r = 0; r < n; ++r) {
       const double* drow = delta.row(r);
-      const double* prow = prev.row(r);
-      for (std::size_t i = 0; i < out; ++i) {
-        const double di = drow[i];
-        if (di == 0.0) continue;
-        gb[i] += di;
-        double* gwrow = gw + i * in;
-        for (std::size_t j = 0; j < in; ++j) gwrow[j] += di * prow[j];
-      }
+      for (std::size_t i = 0; i < out; ++i) gb[i] += drow[i];
     }
 
     if (l > 1) {
-      linalg::Matrix next_delta(n, in);
-      for (std::size_t r = 0; r < n; ++r) {
-        const double* drow = delta.row(r);
-        const double* prow = prev.row(r);
-        double* ndrow = next_delta.row(r);
-        for (std::size_t j = 0; j < in; ++j) {
-          double s = 0.0;
-          for (std::size_t i = 0; i < out; ++i) s += drow[i] * w[i * in + j];
-          ndrow[j] = s * activate_derivative(prow[j]);
-        }
-      }
+      const linalg::Matrix w = weight_matrix(params, w_offset_[l - 1], out, in);
+      linalg::Matrix next_delta = linalg::matmul_blocked(delta, w);  // n x in
+      parallel_for(n, kRowChunk,
+                   [&](std::size_t begin, std::size_t end, std::size_t) {
+                     for (std::size_t r = begin; r < end; ++r) {
+                       const double* prow = prev.row(r);
+                       double* ndrow = next_delta.row(r);
+                       for (std::size_t j = 0; j < in; ++j)
+                         ndrow[j] *= activate_derivative(prow[j]);
+                     }
+                   });
       delta = std::move(next_delta);
     }
   }

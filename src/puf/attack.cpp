@@ -4,11 +4,19 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "ml/metrics.hpp"
 #include "puf/transform.hpp"
 
 namespace xpuf::puf {
+
+namespace {
+// Fixed shard sizes for the parallel CRP measurement loop and the XOR-LR
+// gradient reduction (thread-count independent, see common/parallel.hpp).
+constexpr std::size_t kCrpChunk = 64;
+constexpr std::size_t kGradChunk = 512;
+}  // namespace
 
 AttackDataset build_stable_attack_dataset(const sim::XorPufChip& chip,
                                           const AttackDatasetConfig& config, Rng& rng) {
@@ -18,26 +26,45 @@ AttackDataset build_stable_attack_dataset(const sim::XorPufChip& chip,
                "train_fraction must be in (0, 1)");
 
   const std::size_t k = chip.stages();
+
+  // Each challenge draws its generation AND measurement randomness from a
+  // private stream keyed by its index, so the corpus is bit-identical for
+  // any thread count. Results land in per-index slots and are compacted in
+  // index order below.
+  const StreamFamily streams(rng.fork_base());
+  std::vector<Challenge> drawn(config.challenges);
+  std::vector<std::uint8_t> keep(config.challenges, 0);
+  std::vector<std::uint8_t> bits(config.challenges, 0);
+  parallel_for(config.challenges, kCrpChunk,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   Rng item_rng = streams.stream(i);
+                   Challenge c = random_challenge(k, item_rng);
+                   bool all_stable = true;
+                   bool xorr = false;
+                   for (std::size_t p = 0; p < config.n_pufs; ++p) {
+                     const sim::SoftMeasurement m = chip.measure_soft_response(
+                         p, c, config.environment, config.trials, item_rng);
+                     if (!m.fully_stable()) {
+                       all_stable = false;
+                       break;
+                     }
+                     xorr ^= (m.ones == m.trials);
+                   }
+                   if (all_stable) {
+                     drawn[i] = std::move(c);
+                     keep[i] = 1;
+                     bits[i] = xorr ? 1 : 0;
+                   }
+                 }
+               });
+
   std::vector<Challenge> stable_challenges;
   std::vector<double> xor_bits;
-
   for (std::size_t i = 0; i < config.challenges; ++i) {
-    Challenge c = random_challenge(k, rng);
-    bool all_stable = true;
-    bool xorr = false;
-    for (std::size_t p = 0; p < config.n_pufs; ++p) {
-      const sim::SoftMeasurement m =
-          chip.measure_soft_response(p, c, config.environment, config.trials, rng);
-      if (!m.fully_stable()) {
-        all_stable = false;
-        break;
-      }
-      xorr ^= (m.ones == m.trials);
-    }
-    if (all_stable) {
-      stable_challenges.push_back(std::move(c));
-      xor_bits.push_back(xorr ? 1.0 : 0.0);
-    }
+    if (!keep[i]) continue;
+    stable_challenges.push_back(std::move(drawn[i]));
+    xor_bits.push_back(bits[i] ? 1.0 : 0.0);
   }
 
   AttackDataset out;
@@ -96,46 +123,62 @@ AttackResult run_mlp_attack(const AttackDataset& data, const MlpAttackConfig& co
 
 namespace {
 
+/// Per-shard accumulator for the XOR-LR gradient reduction.
+struct XorLossGrad {
+  double loss = 0.0;
+  linalg::Vector grad;
+};
+
 /// BCE loss and gradient of the product-of-linear-delays XOR model:
-/// z = prod_i (w_i . phi), p = sigmoid(z), target = XOR bit.
+/// z = prod_i (w_i . phi), p = sigmoid(z), target = XOR bit. Rows are
+/// sharded across the thread pool; shard partials combine in fixed order.
 double xor_lr_objective(const ml::Dataset& data, std::size_t n_pufs,
                         const linalg::Vector& params, linalg::Vector& grad) {
   const std::size_t d = data.features();
   const std::size_t n = data.size();
   const double inv_n = 1.0 / static_cast<double>(n);
-  grad.fill(0.0);
-  double loss = 0.0;
-  std::vector<double> delta(n_pufs);
-  for (std::size_t r = 0; r < n; ++r) {
-    const double* row = data.x.row(r);
-    double z = 1.0;
-    for (std::size_t p = 0; p < n_pufs; ++p) {
-      const double* w = params.data() + p * d;
-      double s = 0.0;
-      for (std::size_t c = 0; c < d; ++c) s += w[c] * row[c];
-      delta[p] = s;
-      z *= s;
-    }
-    const double t = data.y[r] >= 0.5 ? 1.0 : 0.0;
-    loss += t > 0.5 ? softplus(-z) : softplus(z);
-    const double dz = (sigmoid(z) - t) * inv_n;
-    for (std::size_t p = 0; p < n_pufs; ++p) {
-      // d z / d w_p = (prod_{q != p} delta_q) * phi. Guard the division:
-      // recompute the leave-one-out product when delta_p is tiny.
-      double loo;
-      if (std::fabs(delta[p]) > 1e-12) {
-        loo = z / delta[p];
-      } else {
-        loo = 1.0;
-        for (std::size_t q = 0; q < n_pufs; ++q)
-          if (q != p) loo *= delta[q];
-      }
-      const double coef = dz * loo;
-      double* g = grad.data() + p * d;
-      for (std::size_t c = 0; c < d; ++c) g[c] += coef * row[c];
-    }
-  }
-  return loss * inv_n;
+  XorLossGrad zero;
+  zero.grad = linalg::Vector(params.size());
+  XorLossGrad total = parallel_reduce(
+      n, kGradChunk, zero,
+      [&](XorLossGrad& acc, std::size_t begin, std::size_t end) {
+        std::vector<double> delta(n_pufs);
+        for (std::size_t r = begin; r < end; ++r) {
+          const double* row = data.x.row(r);
+          double z = 1.0;
+          for (std::size_t p = 0; p < n_pufs; ++p) {
+            const double* w = params.data() + p * d;
+            double s = 0.0;
+            for (std::size_t c = 0; c < d; ++c) s += w[c] * row[c];
+            delta[p] = s;
+            z *= s;
+          }
+          const double t = data.y[r] >= 0.5 ? 1.0 : 0.0;
+          acc.loss += t > 0.5 ? softplus(-z) : softplus(z);
+          const double dz = (sigmoid(z) - t) * inv_n;
+          for (std::size_t p = 0; p < n_pufs; ++p) {
+            // d z / d w_p = (prod_{q != p} delta_q) * phi. Guard the division:
+            // recompute the leave-one-out product when delta_p is tiny.
+            double loo;
+            if (std::fabs(delta[p]) > 1e-12) {
+              loo = z / delta[p];
+            } else {
+              loo = 1.0;
+              for (std::size_t q = 0; q < n_pufs; ++q)
+                if (q != p) loo *= delta[q];
+            }
+            const double coef = dz * loo;
+            double* g = acc.grad.data() + p * d;
+            for (std::size_t c = 0; c < d; ++c) g[c] += coef * row[c];
+          }
+        }
+      },
+      [](XorLossGrad& acc, XorLossGrad&& part) {
+        acc.loss += part.loss;
+        acc.grad += part.grad;
+      });
+  grad = std::move(total.grad);
+  return total.loss * inv_n;
 }
 
 }  // namespace

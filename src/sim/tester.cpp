@@ -1,8 +1,16 @@
 #include "sim/tester.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace xpuf::sim {
+
+namespace {
+// Challenges per parallel chunk. Fixed (never derived from the thread
+// count) so the chunk grid — and therefore every RNG stream assignment —
+// is identical for any pool size.
+constexpr std::size_t kScanChunk = 64;
+}  // namespace
 
 ChipTester::ChipTester(Environment env, std::uint64_t trials, Rng rng)
     : env_(env), trials_(trials), rng_(rng) {
@@ -23,43 +31,77 @@ ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
   scan.challenges = challenges;
   scan.trials = trials_;
   scan.environment = env_;
-  scan.soft.assign(chip.puf_count(), std::vector<double>(challenges.size(), 0.0));
-  scan.stable.assign(chip.puf_count(), std::vector<bool>(challenges.size(), false));
-  for (std::size_t p = 0; p < chip.puf_count(); ++p) {
-    for (std::size_t c = 0; c < challenges.size(); ++c) {
-      const SoftMeasurement m =
-          chip.measure_soft_response(p, challenges[c], env_, trials_, rng_);
-      scan.soft[p][c] = m.soft_response();
-      scan.stable[p][c] = m.fully_stable();
-    }
-  }
+  const std::size_t n_pufs = chip.puf_count();
+  const std::size_t n_ch = challenges.size();
+  scan.soft.assign(n_pufs, std::vector<double>(n_ch, 0.0));
+  scan.stable.assign(n_pufs, std::vector<bool>(n_ch, false));
+
+  // One base draw keys every (puf, challenge) cell's private stream; each
+  // cell's measurement noise is a pure function of (base, cell index).
+  const StreamFamily streams(rng_.fork_base());
+  // vector<bool> packs bits, so adjacent cells share words — stage stability
+  // flags in a byte buffer and commit serially after the parallel loop.
+  std::vector<std::vector<std::uint8_t>> stable_bytes(
+      n_pufs, std::vector<std::uint8_t>(n_ch, 0));
+  parallel_for(n_ch, kScanChunk,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t c = begin; c < end; ++c) {
+                   for (std::size_t p = 0; p < n_pufs; ++p) {
+                     Rng cell_rng = streams.stream(p * n_ch + c);
+                     const SoftMeasurement m = chip.measure_soft_response(
+                         p, challenges[c], env_, trials_, cell_rng);
+                     scan.soft[p][c] = m.soft_response();
+                     stable_bytes[p][c] = m.fully_stable() ? 1 : 0;
+                   }
+                 }
+               });
+  for (std::size_t p = 0; p < n_pufs; ++p)
+    for (std::size_t c = 0; c < n_ch; ++c) scan.stable[p][c] = stable_bytes[p][c] != 0;
   return scan;
 }
 
 std::vector<SoftMeasurement> ChipTester::scan_single(const XorPufChip& chip,
                                                      std::size_t puf_index,
                                                      const std::vector<Challenge>& challenges) {
-  std::vector<SoftMeasurement> out;
-  out.reserve(challenges.size());
-  for (const auto& ch : challenges)
-    out.push_back(chip.measure_soft_response(puf_index, ch, env_, trials_, rng_));
+  std::vector<SoftMeasurement> out(challenges.size());
+  const StreamFamily streams(rng_.fork_base());
+  parallel_for(challenges.size(), kScanChunk,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t c = begin; c < end; ++c) {
+                   Rng cell_rng = streams.stream(c);
+                   out[c] = chip.measure_soft_response(puf_index, challenges[c], env_,
+                                                       trials_, cell_rng);
+                 }
+               });
   return out;
 }
 
 std::vector<bool> ChipTester::sample_xor(const XorPufChip& chip,
                                          const std::vector<Challenge>& challenges) {
-  std::vector<bool> out;
-  out.reserve(challenges.size());
-  for (const auto& ch : challenges) out.push_back(chip.xor_response(ch, env_, rng_));
-  return out;
+  const StreamFamily streams(rng_.fork_base());
+  std::vector<std::uint8_t> bits(challenges.size(), 0);
+  parallel_for(challenges.size(), kScanChunk,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t c = begin; c < end; ++c) {
+                   Rng cell_rng = streams.stream(c);
+                   bits[c] = chip.xor_response(challenges[c], env_, cell_rng) ? 1 : 0;
+                 }
+               });
+  return std::vector<bool>(bits.begin(), bits.end());
 }
 
 std::vector<SoftMeasurement> ChipTester::scan_xor(const XorPufChip& chip,
                                                   const std::vector<Challenge>& challenges) {
-  std::vector<SoftMeasurement> out;
-  out.reserve(challenges.size());
-  for (const auto& ch : challenges)
-    out.push_back(chip.measure_xor_soft_response(ch, env_, trials_, rng_));
+  std::vector<SoftMeasurement> out(challenges.size());
+  const StreamFamily streams(rng_.fork_base());
+  parallel_for(challenges.size(), kScanChunk,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t c = begin; c < end; ++c) {
+                   Rng cell_rng = streams.stream(c);
+                   out[c] = chip.measure_xor_soft_response(challenges[c], env_, trials_,
+                                                           cell_rng);
+                 }
+               });
   return out;
 }
 

@@ -3,6 +3,11 @@
 // Applies challenge lists to a chip at a programmable corner and collects
 // per-PUF soft responses through the fused taps (enrollment) or one-shot
 // XOR responses (authentication-side measurements).
+//
+// Scans run on the global thread pool (common/parallel.hpp). Each scan
+// draws ONE base value from the tester's stream and derives a private
+// per-measurement child stream keyed by the (puf, challenge) cell index, so
+// scan output is bit-identical for any thread count.
 #pragma once
 
 #include <cstdint>

@@ -64,8 +64,14 @@ TEST(Cli, ProgramNameIsCaptured) {
 
 class ScaleTest : public ::testing::Test {
  protected:
-  void SetUp() override { ::unsetenv("XPUF_BENCH_SCALE"); }
-  void TearDown() override { ::unsetenv("XPUF_BENCH_SCALE"); }
+  void SetUp() override {
+    ::unsetenv("XPUF_BENCH_SCALE");
+    ::unsetenv("XPUF_THREADS");
+  }
+  void TearDown() override {
+    ::unsetenv("XPUF_BENCH_SCALE");
+    ::unsetenv("XPUF_THREADS");
+  }
 };
 
 TEST_F(ScaleTest, DefaultIsReduced) {
@@ -101,6 +107,20 @@ TEST_F(ScaleTest, IndividualOverridesApply) {
   EXPECT_EQ(s.challenges, 1234u);
   EXPECT_EQ(s.trials, 99u);
   EXPECT_EQ(s.chips, 2u);
+}
+
+TEST_F(ScaleTest, ThreadsDefaultToHardwareConcurrency) {
+  const BenchScale s = resolve_scale(make_cli({}));
+  EXPECT_GE(s.threads, 1u);
+}
+
+TEST_F(ScaleTest, ThreadsFlagAndEnvironment) {
+  EXPECT_EQ(resolve_scale(make_cli({"--threads", "3"})).threads, 3u);
+  ::setenv("XPUF_THREADS", "5", 1);
+  EXPECT_EQ(resolve_scale(make_cli({})).threads, 5u);
+  // Flag beats environment; nonpositive values fall back to autodetect.
+  EXPECT_EQ(resolve_scale(make_cli({"--threads", "2"})).threads, 2u);
+  EXPECT_GE(resolve_scale(make_cli({"--threads", "0"})).threads, 1u);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 // Tests for the dense matrix type and BLAS-2/3 kernels.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "common/rng.hpp"
 #include "linalg/matrix.hpp"
 
@@ -108,6 +110,62 @@ TEST(MaxAbsDiff, DetectsLargestDeviation) {
   const Matrix b = Matrix::from_rows({{1.5, 2.1}});
   EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
   EXPECT_THROW(max_abs_diff(a, Matrix(2, 2)), std::invalid_argument);
+}
+
+namespace {
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.normal();
+  return m;
+}
+}  // namespace
+
+TEST(MatmulBlocked, MatchesNaiveOnNonSquareShapes) {
+  Rng rng(11);
+  // Shapes chosen to straddle the kernel's row-chunk and k-block sizes.
+  for (const auto [m, k, n] : {std::array<std::size_t, 3>{17, 5, 9},
+                               {3, 130, 7},
+                               {65, 64, 33},
+                               {1, 200, 1}}) {
+    const Matrix a = random_matrix(m, k, rng);
+    const Matrix b = random_matrix(k, n, rng);
+    EXPECT_LT(max_abs_diff(matmul_blocked(a, b), matmul(a, b)), 1e-12)
+        << m << "x" << k << " * " << k << "x" << n;
+  }
+}
+
+TEST(MatmulBlocked, TinyAndDegenerateShapes) {
+  const Matrix a = Matrix::from_rows({{2.0}});
+  EXPECT_EQ(matmul_blocked(a, Matrix::from_rows({{3.0}})),
+            Matrix::from_rows({{6.0}}));
+  // Zero-dimension operands: empty result of the right shape, no crash.
+  const Matrix zero_rows(0, 4);
+  const Matrix c = matmul_blocked(zero_rows, Matrix(4, 3));
+  EXPECT_EQ(c.rows(), 0u);
+  EXPECT_EQ(c.cols(), 3u);
+  const Matrix d = matmul_blocked(Matrix(3, 0), Matrix(0, 2));
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.cols(), 2u);
+  EXPECT_LT(max_abs_diff(d, Matrix(3, 2, 0.0)), 1e-300);
+  EXPECT_THROW(matmul_blocked(Matrix(2, 3), Matrix(4, 2)), std::invalid_argument);
+}
+
+TEST(MatmulNt, MatchesExplicitTranspose) {
+  Rng rng(12);
+  const Matrix a = random_matrix(19, 6, rng);
+  const Matrix bt = random_matrix(11, 6, rng);  // B^T stored row-major
+  EXPECT_LT(max_abs_diff(matmul_nt(a, bt), matmul(a, bt.transposed())), 1e-12);
+  EXPECT_THROW(matmul_nt(Matrix(2, 3), Matrix(4, 5)), std::invalid_argument);
+}
+
+TEST(MatmulTn, MatchesExplicitTranspose) {
+  Rng rng(13);
+  // Tall inputs so the row-chunked partial accumulation spans many chunks.
+  const Matrix a = random_matrix(1'000, 4, rng);
+  const Matrix b = random_matrix(1'000, 7, rng);
+  EXPECT_LT(max_abs_diff(matmul_tn(a, b), matmul(a.transposed(), b)), 1e-9);
+  EXPECT_THROW(matmul_tn(Matrix(2, 3), Matrix(4, 5)), std::invalid_argument);
 }
 
 TEST(Matrix, RowPointerIsContiguous) {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: Release build + full test suite, then a ThreadSanitizer
+# build that exercises the parallel execution layer (tests/test_parallel.cpp
+# hammers the pool with 1/2/8-lane configurations, so TSan sees every
+# synchronization path of common/parallel.cpp and the staged-buffer commits
+# in the scan/attack/GEMM code).
+#
+# Usage: tools/ci.sh [build-dir-prefix]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== Release build + full ctest =="
+cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${prefix}" -j "${jobs}"
+ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
+
+echo
+echo "== ThreadSanitizer build (parallel layer) =="
+cmake -B "${prefix}-tsan" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DXPUF_SANITIZE=thread \
+  -DXPUF_BUILD_BENCHMARKS=OFF \
+  -DXPUF_BUILD_EXAMPLES=OFF
+cmake --build "${prefix}-tsan" -j "${jobs}" --target test_parallel
+"${prefix}-tsan/tests/test_parallel"
+
+echo
+echo "CI OK"
