@@ -132,10 +132,10 @@ int main(int argc, char** argv) {
 
       t.add_row({std::to_string(train_n), cand.name, Table::num(corr, 4),
                  Table::pct(accuracy, 2),
-                 Table::pct(static_cast<double>(yield) / test_n, 2)});
+                 Table::pct(static_cast<double>(yield) / static_cast<double>(test_n), 2)});
       csv.write_row(std::vector<std::string>{
           std::to_string(train_n), cand.name, Table::num(corr, 5),
-          Table::num(accuracy, 5), Table::num(static_cast<double>(yield) / test_n, 5)});
+          Table::num(accuracy, 5), Table::num(static_cast<double>(yield) / static_cast<double>(test_n), 5)});
     }
   }
   t.print();

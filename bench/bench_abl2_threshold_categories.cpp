@@ -64,15 +64,15 @@ int main(int argc, char** argv) {
       }
     }
     t.add_row({env.label(),
-               Table::pct(static_cast<double>(binary_err) / test_n, 3),
-               sel_total > 0 ? Table::pct(static_cast<double>(sel_err) / sel_total, 4)
+               Table::pct(static_cast<double>(binary_err) / static_cast<double>(test_n), 3),
+               sel_total > 0 ? Table::pct(static_cast<double>(sel_err) / static_cast<double>(sel_total), 4)
                              : "n/a",
-               Table::pct(static_cast<double>(sel_total) / test_n, 1)});
+               Table::pct(static_cast<double>(sel_total) / static_cast<double>(test_n), 1)});
     csv.write_row(std::vector<double>{
         env.voltage * 1000 + env.temperature,  // encoded corner key
-        static_cast<double>(binary_err) / test_n,
-        sel_total > 0 ? static_cast<double>(sel_err) / sel_total : 0.0,
-        static_cast<double>(sel_total) / test_n});
+        static_cast<double>(binary_err) / static_cast<double>(test_n),
+        sel_total > 0 ? static_cast<double>(sel_err) / static_cast<double>(sel_total) : 0.0,
+        static_cast<double>(sel_total) / static_cast<double>(test_n)});
     std::fprintf(stderr, "  [abl2] %s done\n", env.label().c_str());
   }
   t.print();

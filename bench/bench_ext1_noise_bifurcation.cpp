@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
     genuine /= rounds;
     fake /= rounds;
     const double thr = puf::bifurcation_accept_threshold(d);
-    const double label_noise = d == 1 ? 0.0 : (static_cast<double>(d - 1) / d) * 0.5;
+    const double label_noise = d == 1 ? 0.0 : (static_cast<double>(d - 1) / static_cast<double>(d)) * 0.5;
 
     t.add_row({std::to_string(d), Table::pct(label_noise, 1),
                Table::pct(attack.test_accuracy, 1), Table::pct(genuine, 1),

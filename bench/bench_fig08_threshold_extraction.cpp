@@ -69,11 +69,11 @@ int main(int argc, char** argv) {
              Table::num(enrollment.thresholds.thr1, 4)});
   t.add_row({"training r^2 of the linear model", Table::num(enrollment.train_r_squared, 4)});
   t.add_row({"stable in measurement",
-             Table::pct(static_cast<double>(stable_meas) / train_n, 2)});
+             Table::pct(static_cast<double>(stable_meas) / static_cast<double>(train_n), 2)});
   t.add_row({"stable in model (three-category)",
-             Table::pct(static_cast<double>(stable_pred) / train_n, 2)});
+             Table::pct(static_cast<double>(stable_pred) / static_cast<double>(train_n), 2)});
   t.add_row({"stable in measurement but discarded as marginal",
-             Table::pct(static_cast<double>(stable_meas_discarded) / train_n, 2)});
+             Table::pct(static_cast<double>(stable_meas_discarded) / static_cast<double>(train_n), 2)});
   t.print();
 
   CsvWriter csv(benchutil::out_dir() + "/fig08_pred_vs_measured.csv",

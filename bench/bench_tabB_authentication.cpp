@@ -77,13 +77,13 @@ int main(int argc, char** argv) {
     }
     const double rd = static_cast<double>(rounds);
     t.add_row({env.label(), Table::num(model_mis / rd, 2),
-               Table::pct(model_pass / rd, 0), Table::num(random_mis / rd, 2),
-               Table::pct(random_pass / rd, 0), Table::num(meas_mis / rd, 2),
-               Table::pct(meas_pass / rd, 0)});
+               Table::pct(static_cast<double>(model_pass) / rd, 0), Table::num(random_mis / rd, 2),
+               Table::pct(static_cast<double>(random_pass) / rd, 0), Table::num(meas_mis / rd, 2),
+               Table::pct(static_cast<double>(meas_pass) / rd, 0)});
     csv.write_row(std::vector<std::string>{
-        env.label(), Table::num(model_mis / rd, 3), Table::num(model_pass / rd, 3),
-        Table::num(random_mis / rd, 3), Table::num(random_pass / rd, 3),
-        Table::num(meas_mis / rd, 3), Table::num(meas_pass / rd, 3)});
+        env.label(), Table::num(model_mis / rd, 3), Table::num(static_cast<double>(model_pass) / rd, 3),
+        Table::num(random_mis / rd, 3), Table::num(static_cast<double>(random_pass) / rd, 3),
+        Table::num(meas_mis / rd, 3), Table::num(static_cast<double>(meas_pass) / rd, 3)});
     std::fprintf(stderr, "  [tabB] %s done\n", env.label().c_str());
   }
   t.print();

@@ -36,8 +36,8 @@ int main() {
   }
   std::printf("100%%-stable challenge fraction over %d challenges x %llu trials:\n", n,
               static_cast<unsigned long long>(trials));
-  std::printf("  linear arbiter PUF:       %.1f%%\n", 100.0 * stable_linear / n);
-  std::printf("  feed-forward arbiter PUF: %.1f%%\n\n", 100.0 * stable_ff / n);
+  std::printf("  linear arbiter PUF:       %.1f%%\n", 100.0 * static_cast<double>(stable_linear) / n);
+  std::printf("  feed-forward arbiter PUF: %.1f%%\n\n", 100.0 * static_cast<double>(stable_ff) / n);
 
   // Model fidelity: fit the paper's linear enrollment model to each device's
   // soft responses and compare hard-prediction accuracy.

@@ -21,16 +21,20 @@ void log_line(LogLevel level, const std::string& message);
 
 namespace detail {
 struct LogStream {
+  explicit LogStream(LogLevel l) : level(l) {}
+  ~LogStream() { log_line(level, os.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
   LogLevel level;
   std::ostringstream os;
-  ~LogStream() { log_line(level, os.str()); }
 };
 }  // namespace detail
 
 }  // namespace xpuf
 
 #define XPUF_LOG(level_enum)                                   \
-  ::xpuf::detail::LogStream { ::xpuf::LogLevel::level_enum }.os
+  ::xpuf::detail::LogStream(::xpuf::LogLevel::level_enum).os
 #define XPUF_INFO() XPUF_LOG(kInfo)
 #define XPUF_WARN() XPUF_LOG(kWarn)
 #define XPUF_DEBUG() XPUF_LOG(kDebug)

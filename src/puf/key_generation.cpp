@@ -20,6 +20,8 @@ crypto::Bits FuzzyExtractor::read_response(const sim::XorPufChip& chip,
   return response;
 }
 
+// Dimension guard (challenges.size() == n) lives in read_response, the first
+// thing this calls.  xpuf-lint: allow(require-guard)
 KeyGenResult FuzzyExtractor::generate(const sim::XorPufChip& chip,
                                       const std::vector<Challenge>& challenges,
                                       const sim::Environment& env, Rng& rng) const {

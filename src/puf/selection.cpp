@@ -10,6 +10,9 @@ ModelBasedSelector::ModelBasedSelector(const ServerModel& model, std::size_t n_p
                "selector n_pufs out of range");
 }
 
+// Any (count, max_attempts) pair is legal — running out of attempts is the
+// reported-not-thrown `filled == false` outcome the yield experiments probe.
+// xpuf-lint: allow(require-guard)
 SelectionResult ModelBasedSelector::select(std::size_t count, Rng& rng,
                                            std::size_t max_attempts) const {
   SelectionResult result;
@@ -27,6 +30,8 @@ SelectionResult ModelBasedSelector::select(std::size_t count, Rng& rng,
 }
 
 SelectionResult ModelBasedSelector::filter(const std::vector<Challenge>& candidates) const {
+  for (const auto& c : candidates)
+    XPUF_REQUIRE(c.size() == model_->stages(), "candidate challenge length != stage count");
   SelectionResult result;
   result.candidates_tried = candidates.size();
   for (const auto& c : candidates) {
@@ -48,6 +53,8 @@ MeasurementBasedSelector::MeasurementBasedSelector(const sim::XorPufChip& chip,
   XPUF_REQUIRE(trials > 0, "measurement-based selection needs trials > 0");
 }
 
+// Any (count, max_attempts) pair is legal — see ModelBasedSelector::select.
+// xpuf-lint: allow(require-guard)
 SelectionResult MeasurementBasedSelector::select(std::size_t count, Rng& rng,
                                                  std::size_t max_attempts) const {
   SelectionResult result;
@@ -77,6 +84,8 @@ SelectionResult MeasurementBasedSelector::select(std::size_t count, Rng& rng,
 
 SelectionResult MeasurementBasedSelector::filter(const std::vector<Challenge>& candidates,
                                                  Rng& rng) const {
+  for (const auto& c : candidates)
+    XPUF_REQUIRE(c.size() == chip_->stages(), "candidate challenge length != stage count");
   SelectionResult result;
   result.candidates_tried = candidates.size();
   for (const auto& c : candidates) {

@@ -127,6 +127,9 @@ EvaluationBlock measure_evaluation_block(const sim::XorPufChip& chip,
                                          const std::vector<Challenge>& challenges,
                                          const sim::Environment& env,
                                          std::uint64_t trials, Rng& rng) {
+  XPUF_REQUIRE(trials > 0, "an evaluation block needs at least one trial per challenge");
+  for (const auto& c : challenges)
+    XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
   EvaluationBlock block;
   block.challenges = challenges;
   block.environment = env;

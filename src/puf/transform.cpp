@@ -5,6 +5,7 @@
 namespace xpuf::puf {
 
 void feature_vector_into(const Challenge& challenge, double* out) {
+  XPUF_REQUIRE(out != nullptr, "feature_vector_into needs a buffer of size() + 1 doubles");
   const std::size_t k = challenge.size();
   // Suffix products: phi_k = 1 - 2 c_k, phi_i = (1 - 2 c_i) * phi_{i+1}.
   double acc = 1.0;
@@ -48,6 +49,7 @@ Challenge challenge_from_features(const linalg::Vector& phi) {
 }
 
 std::vector<Challenge> random_challenges(std::size_t stages, std::size_t count, Rng& rng) {
+  XPUF_REQUIRE(stages > 0, "challenges need at least one stage");
   std::vector<Challenge> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) out.push_back(random_challenge(stages, rng));

@@ -15,6 +15,7 @@ XorPufChip::XorPufChip(std::size_t chip_id, std::size_t n_pufs,
 
 bool XorPufChip::xor_response(const Challenge& challenge, const Environment& env,
                               Rng& rng) const {
+  XPUF_REQUIRE(challenge.size() == stages(), "challenge length != chip stage count");
   bool out = false;
   for (const auto& d : devices_) out ^= d.evaluate(challenge, env, rng);
   return out;
@@ -29,6 +30,7 @@ void XorPufChip::check_tap(std::size_t puf_index) const {
 
 bool XorPufChip::individual_response(std::size_t puf_index, const Challenge& challenge,
                                      const Environment& env, Rng& rng) const {
+  XPUF_REQUIRE(challenge.size() == stages(), "challenge length != chip stage count");
   check_tap(puf_index);
   return devices_[puf_index].evaluate(challenge, env, rng);
 }

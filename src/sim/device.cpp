@@ -8,6 +8,7 @@
 namespace xpuf::sim {
 
 Challenge random_challenge(std::size_t stages, Rng& rng) {
+  XPUF_REQUIRE(stages > 0, "a challenge needs at least one stage");
   Challenge c(stages);
   for (auto& bit : c) bit = rng.bernoulli() ? 1 : 0;
   return c;
@@ -40,12 +41,15 @@ void ArbiterPufDevice::age(double stress_hours) {
   stress_hours_ += stress_hours;
 }
 
+// Stage index is proven in-range by delay_difference's length guard; this is
+// the innermost hot loop.  xpuf-lint: allow(require-guard)
 double ArbiterPufDevice::effective_straight(std::size_t i, double scale, double shift,
                                             double aging) const {
   const StageDelays& s = stage_delays_[i];
   return s.straight * scale + s.straight_sensitivity * shift + s.straight_aging * aging;
 }
 
+// Same as effective_straight.  xpuf-lint: allow(require-guard)
 double ArbiterPufDevice::effective_crossed(std::size_t i, double scale, double shift,
                                            double aging) const {
   const StageDelays& s = stage_delays_[i];
@@ -80,6 +84,8 @@ double ArbiterPufDevice::one_probability(const Challenge& challenge,
   return normal_cdf(delay_difference(challenge, env) / noise_sigma(env));
 }
 
+// Challenge length is guarded by delay_difference, the first call made.
+// xpuf-lint: allow(require-guard)
 bool ArbiterPufDevice::evaluate(const Challenge& challenge, const Environment& env,
                                 Rng& rng) const {
   const double delta = delay_difference(challenge, env);

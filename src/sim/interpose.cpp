@@ -22,6 +22,8 @@ InterposePuf::InterposePuf(const InterposeConfig& config, const DeviceParameters
     lower_.emplace_back(lower_params, env_model, rng);
 }
 
+// Internal helper: evaluate/response guard the challenge length, and each
+// device's delay_difference re-checks it.  xpuf-lint: allow(require-guard)
 bool InterposePuf::upper_bit(const Challenge& challenge, const Environment& env,
                              Rng* rng) const {
   bool bit = false;
@@ -34,6 +36,8 @@ bool InterposePuf::upper_bit(const Challenge& challenge, const Environment& env,
 
 bool InterposePuf::lower_bit(const Challenge& challenge, bool interposed,
                              const Environment& env, Rng* rng) const {
+  XPUF_REQUIRE(config_.interpose_position <= challenge.size(),
+               "interpose position beyond the challenge");
   Challenge extended;
   extended.reserve(challenge.size() + 1);
   extended.insert(extended.end(), challenge.begin(),

@@ -17,6 +17,8 @@ ChipTester::ChipTester(Environment env, std::uint64_t trials, Rng rng)
   XPUF_REQUIRE(trials > 0, "ChipTester needs at least one trial per challenge");
 }
 
+// Any count is legal (an empty scan is a no-op); the stage count is guarded
+// inside random_challenge.  xpuf-lint: allow(require-guard)
 std::vector<Challenge> ChipTester::random_challenges(const XorPufChip& chip,
                                                      std::size_t count) {
   std::vector<Challenge> out;
@@ -27,6 +29,8 @@ std::vector<Challenge> ChipTester::random_challenges(const XorPufChip& chip,
 
 ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
                                          const std::vector<Challenge>& challenges) {
+  for (const auto& c : challenges)
+    XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
   ChipSoftScan scan;
   scan.challenges = challenges;
   scan.trials = trials_;
@@ -63,6 +67,9 @@ ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
 std::vector<SoftMeasurement> ChipTester::scan_single(const XorPufChip& chip,
                                                      std::size_t puf_index,
                                                      const std::vector<Challenge>& challenges) {
+  XPUF_REQUIRE(puf_index < chip.puf_count(), "PUF index out of range");
+  for (const auto& c : challenges)
+    XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
   std::vector<SoftMeasurement> out(challenges.size());
   const StreamFamily streams(rng_.fork_base());
   parallel_for(challenges.size(), kScanChunk,
@@ -78,6 +85,8 @@ std::vector<SoftMeasurement> ChipTester::scan_single(const XorPufChip& chip,
 
 std::vector<bool> ChipTester::sample_xor(const XorPufChip& chip,
                                          const std::vector<Challenge>& challenges) {
+  for (const auto& c : challenges)
+    XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
   const StreamFamily streams(rng_.fork_base());
   std::vector<std::uint8_t> bits(challenges.size(), 0);
   parallel_for(challenges.size(), kScanChunk,
@@ -92,6 +101,8 @@ std::vector<bool> ChipTester::sample_xor(const XorPufChip& chip,
 
 std::vector<SoftMeasurement> ChipTester::scan_xor(const XorPufChip& chip,
                                                   const std::vector<Challenge>& challenges) {
+  for (const auto& c : challenges)
+    XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
   std::vector<SoftMeasurement> out(challenges.size());
   const StreamFamily streams(rng_.fork_base());
   parallel_for(challenges.size(), kScanChunk,

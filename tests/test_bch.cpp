@@ -154,7 +154,7 @@ TEST(Bch, AllZeroAndAllOneWords) {
   // The all-ones word of length 15 is also a codeword of this code iff
   // g(x) divides (x^15 - 1)/(x - 1)... just check decode is well-defined.
   const auto ones = code.decode(Bits(code.n(), 1));
-  if (ones.ok) EXPECT_LE(ones.errors_corrected, code.t());
+  if (ones.ok) { EXPECT_LE(ones.errors_corrected, code.t()); }
 }
 
 }  // namespace

@@ -127,7 +127,7 @@ TEST_F(EnrollmentTest, AllStableSubsetWidthIsMonotone) {
     const auto c = random_challenge(32, crng);
     // If stable on the first n PUFs, also stable on the first n-1.
     for (std::size_t n = 2; n <= 4; ++n)
-      if (model.all_stable(c, n)) EXPECT_TRUE(model.all_stable(c, n - 1));
+      if (model.all_stable(c, n)) { EXPECT_TRUE(model.all_stable(c, n - 1)); }
   }
 }
 

@@ -110,7 +110,7 @@ TEST_P(MlpGradientSweep, AnalyticGradientMatchesFiniteDifferences) {
       ++mismatched;
     }
   }
-  if (!smooth) EXPECT_LE(mismatched, checked / 8) << "too many ReLU kink crossings";
+  if (!smooth) { EXPECT_LE(mismatched, checked / 8) << "too many ReLU kink crossings"; }
 }
 
 INSTANTIATE_TEST_SUITE_P(Activations, MlpGradientSweep,

@@ -79,7 +79,7 @@ TEST_F(ProtocolPropertyTest, TighterBetasNeverEnlargeTheStableSet) {
   ServerModel tight = model_;
   tight.set_betas(BetaFactors{0.70, 1.30});
   for (const auto& c : challenges) {
-    if (tight.all_stable(c, kNPufs)) EXPECT_TRUE(loose.all_stable(c, kNPufs));
+    if (tight.all_stable(c, kNPufs)) { EXPECT_TRUE(loose.all_stable(c, kNPufs)); }
   }
 }
 

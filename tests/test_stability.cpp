@@ -138,7 +138,7 @@ TEST(Tighten, TightenedRegionIsSubset) {
   const ThresholdPair raw{0.35, 0.72};
   const ThresholdPair t = tighten(raw, BetaFactors{0.6, 1.4});
   for (double pred = -1.0; pred <= 2.0; pred += 0.01) {
-    if (t.is_stable(pred)) EXPECT_TRUE(raw.is_stable(pred)) << pred;
+    if (t.is_stable(pred)) { EXPECT_TRUE(raw.is_stable(pred)) << pred; }
   }
 }
 

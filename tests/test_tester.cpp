@@ -41,8 +41,9 @@ TEST(ChipTester, ScanIndividualShapesAndConsistency) {
       EXPECT_GE(scan.soft[p][c], 0.0);
       EXPECT_LE(scan.soft[p][c], 1.0);
       // Stability flag consistent with soft value.
-      if (scan.stable[p][c])
+      if (scan.stable[p][c]) {
         EXPECT_TRUE(scan.soft[p][c] == 0.0 || scan.soft[p][c] == 1.0);
+      }
     }
   }
 }

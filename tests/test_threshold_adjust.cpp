@@ -65,8 +65,9 @@ TEST_F(ThresholdAdjustTest, ViolationsBeforeAreCountedAtUnitBetas) {
   // the same thing the search fixes.
   std::vector<EvaluationBlock> blocks{measure({0.8, 60.0})};
   const BetaSearchResult res = find_betas(model_, blocks);
-  if (res.betas.beta0 < 1.0 || res.betas.beta1 > 1.0)
+  if (res.betas.beta0 < 1.0 || res.betas.beta1 > 1.0) {
     EXPECT_GT(res.violations_before, 0u);
+  }
   EXPECT_EQ(res.violations_after, 0u);
 }
 
@@ -85,8 +86,8 @@ TEST_F(ThresholdAdjustTest, SelectedStableCrpsAreTrulyStableAfterAdjustment) {
       for (std::size_t c = 0; c < block.challenges.size(); ++c) {
         const double pred = adjusted.predict_soft(p, block.challenges[c]);
         const double soft = block.soft[p][c];
-        if (pred < thr.thr0) EXPECT_DOUBLE_EQ(soft, 0.0);
-        if (pred > thr.thr1) EXPECT_DOUBLE_EQ(soft, 1.0);
+        if (pred < thr.thr0) { EXPECT_DOUBLE_EQ(soft, 0.0); }
+        if (pred > thr.thr1) { EXPECT_DOUBLE_EQ(soft, 1.0); }
       }
     }
   }

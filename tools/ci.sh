@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# CI entry point: Release build + full test suite, then a ThreadSanitizer
-# build that exercises the parallel execution layer (tests/test_parallel.cpp
-# hammers the pool with 1/2/8-lane configurations, so TSan sees every
-# synchronization path of common/parallel.cpp and the staged-buffer commits
-# in the scan/attack/GEMM code).
+# CI entry point — three-job build matrix with per-job logs:
+#
+#   release   Release, -DXPUF_WERROR=ON, full ctest (incl. `-L lint`:
+#             xpuf_lint over the tree + .clang-tidy validation)
+#   asan      ASan+UBSan RelWithDebInfo, full test suite
+#   tsan      TSan RelWithDebInfo, parallel-layer tests
+#             (tests/test_parallel.cpp hammers the pool with 1/2/8-lane
+#             configurations, so TSan sees every synchronization path of
+#             common/parallel.cpp and the staged-buffer commits in the
+#             scan/attack/GEMM code)
+#
+# plus a clang-tidy pass (tools/tidy.sh — skips cleanly when LLVM is absent).
+# Every job tees its output to bench_out/ci/<job>.log so a red matrix can be
+# triaged without re-running.
 #
 # Usage: tools/ci.sh [build-dir-prefix]   (default: build)
 set -euo pipefail
@@ -11,21 +20,58 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 prefix="${1:-build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
+logdir="bench_out/ci"
+mkdir -p "${logdir}"
 
-echo "== Release build + full ctest =="
-cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${prefix}" -j "${jobs}"
-ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
+run_job() {
+  local name="$1"
+  shift
+  echo "== ${name} =="
+  if "$@" >"${logdir}/${name}.log" 2>&1; then
+    echo "   ok (log: ${logdir}/${name}.log)"
+  else
+    echo "   FAILED — tail of ${logdir}/${name}.log:" >&2
+    tail -n 40 "${logdir}/${name}.log" >&2
+    return 1
+  fi
+}
+
+# NOTE: each job chains with && — `set -e` is suspended inside functions
+# called from an `if` condition, so a plain sequence would keep going (and
+# e.g. run ctest on a half-built tree) after a failed build step.
+release_job() {
+  cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release -DXPUF_WERROR=ON &&
+    cmake --build "${prefix}" -j "${jobs}" &&
+    ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
+}
+
+asan_job() {
+  cmake -B "${prefix}-asan" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DXPUF_SANITIZE=address,undefined \
+    -DXPUF_WERROR=ON \
+    -DXPUF_BUILD_BENCHMARKS=OFF \
+    -DXPUF_BUILD_EXAMPLES=OFF &&
+    cmake --build "${prefix}-asan" -j "${jobs}" &&
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+      ctest --test-dir "${prefix}-asan" --output-on-failure -j "${jobs}"
+}
+
+tsan_job() {
+  cmake -B "${prefix}-tsan" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DXPUF_SANITIZE=thread \
+    -DXPUF_WERROR=ON \
+    -DXPUF_BUILD_BENCHMARKS=OFF \
+    -DXPUF_BUILD_EXAMPLES=OFF &&
+    cmake --build "${prefix}-tsan" -j "${jobs}" --target test_parallel &&
+    "${prefix}-tsan/tests/test_parallel"
+}
+
+run_job release release_job
+run_job asan asan_job
+run_job tsan tsan_job
+run_job tidy ./tools/tidy.sh "${prefix}-tidy"
 
 echo
-echo "== ThreadSanitizer build (parallel layer) =="
-cmake -B "${prefix}-tsan" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DXPUF_SANITIZE=thread \
-  -DXPUF_BUILD_BENCHMARKS=OFF \
-  -DXPUF_BUILD_EXAMPLES=OFF
-cmake --build "${prefix}-tsan" -j "${jobs}" --target test_parallel
-"${prefix}-tsan/tests/test_parallel"
-
-echo
-echo "CI OK"
+echo "CI OK (logs under ${logdir}/)"

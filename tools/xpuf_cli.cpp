@@ -6,9 +6,9 @@
 // invocations just like a real enrollment line / authentication server:
 //
 //   xpuf_cli fabricate    --out lot.csv --chips 2 --pufs 10 --seed 2017
-//   xpuf_cli enroll       --lot lot.csv --chip 0 --train 5000 --trials 10000 \
-//                         --vt --out model.csv
-//   xpuf_cli authenticate --lot lot.csv --chip 0 --model model.csv \
+//   xpuf_cli enroll       --lot lot.csv --chip 0 --train 5000 --trials 10000
+//                         --vt --out model.csv          (one command line)
+//   xpuf_cli authenticate --lot lot.csv --chip 0 --model model.csv
 //                         --voltage 0.8 --temperature 60 --count 64
 //   xpuf_cli attack       --lot lot.csv --chip 0 --n 4 --crps 20000
 //   xpuf_cli metrics      --lot lot.csv --n 10

@@ -1,0 +1,721 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace xpuf::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::vector<RuleInfo> kRules = {
+    {"raw-rng",
+     "raw std random engine or rand()/srand(); draw from common/rng streams instead"},
+    {"nondeterminism",
+     "wall-clock / random_device entropy source outside common/rng.cpp breaks reseedability"},
+    {"vector-bool-parallel",
+     "vector<bool> touched inside a parallel_for body; adjacent bits share words — stage "
+     "bytes and commit serially"},
+    {"require-guard",
+     "public puf//sim/ entry point takes container/dimension parameters but never checks "
+     "XPUF_REQUIRE"},
+    {"narrowing",
+     "double literal narrowed to float, or C-style arithmetic cast; use an f suffix / "
+     "static_cast"},
+    {"include-order",
+     "header missing #pragma once, self-header not included first, or <system> include "
+     "after a \"project\" include"},
+    {"bad-suppression", "xpuf-lint allow comment names a rule that does not exist"},
+};
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Replaces comments and string/character literals with spaces (newlines and
+/// line lengths preserved) so rule patterns only ever match real code.
+std::string blank_comments_and_strings(const std::string& src) {
+  std::string out = src;
+  enum class S { kCode, kLine, kBlock, kString, kChar };
+  S s = S::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (s) {
+      case S::kCode:
+        if (c == '/' && next == '/') {
+          s = S::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          s = S::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          s = S::kString;
+        } else if (c == '\'' && (i == 0 || !ident_char(src[i - 1]))) {
+          // Ident-adjacent quotes are digit separators (2'000), not chars.
+          s = S::kChar;
+        }
+        break;
+      case S::kLine:
+        if (c == '\n')
+          s = S::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case S::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          s = S::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case S::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          s = S::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case S::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          s = S::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> parse_allow_list(const std::string& line, const std::string& marker) {
+  std::vector<std::string> out;
+  const std::size_t at = line.find(marker);
+  if (at == std::string::npos) return out;
+  const std::size_t open = line.find('(', at + marker.size());
+  if (open == std::string::npos) return out;
+  const std::size_t close = line.find(')', open);
+  if (close == std::string::npos) return out;
+  std::string inner = line.substr(open + 1, close - open - 1);
+  std::stringstream ss(inner);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool path_has_prefix(const std::string& path, const std::string& prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+bool is_rng_file(const std::string& rel) {
+  return rel == "src/common/rng.hpp" || rel == "src/common/rng.cpp";
+}
+
+std::string basename_of(const std::string& p) {
+  const std::size_t slash = p.find_last_of('/');
+  return slash == std::string::npos ? p : p.substr(slash + 1);
+}
+
+/// Per-line suppression sets: an allow comment covers its own line; a
+/// comment-only allow line additionally covers the next line.
+struct Suppressions {
+  std::set<std::string> file_wide;
+  std::vector<std::set<std::string>> per_line;  // indexed by 0-based line
+  std::vector<Violation> meta;                  // bad-suppression findings
+
+  bool allows(const std::string& rule, std::size_t line0) const {
+    if (file_wide.count(rule)) return true;
+    return line0 < per_line.size() && per_line[line0].count(rule) != 0;
+  }
+};
+
+Suppressions build_suppressions(const std::string& rel_path,
+                                const std::vector<std::string>& raw_lines) {
+  Suppressions sup;
+  sup.per_line.resize(raw_lines.size());
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    auto note_bad = [&](const std::string& name) {
+      sup.meta.push_back({rel_path, i + 1, "bad-suppression",
+                          "unknown rule '" + name + "' in xpuf-lint allow comment"});
+    };
+    for (const std::string& r : parse_allow_file_comment(line)) {
+      if (!is_known_rule(r)) {
+        note_bad(r);
+        continue;
+      }
+      sup.file_wide.insert(r);
+    }
+    const std::vector<std::string> allowed = parse_allow_comment(line);
+    if (allowed.empty()) continue;
+    const bool comment_only = trim(line).rfind("//", 0) == 0;
+    for (const std::string& r : allowed) {
+      if (!is_known_rule(r)) {
+        note_bad(r);
+        continue;
+      }
+      sup.per_line[i].insert(r);
+      if (comment_only && i + 1 < raw_lines.size()) sup.per_line[i + 1].insert(r);
+    }
+  }
+  return sup;
+}
+
+// ---------------------------------------------------------------------------
+// Simple per-line regex rules.
+
+struct PatternRule {
+  const char* rule;
+  std::regex pattern;
+  const char* message;
+};
+
+const std::vector<PatternRule>& raw_rng_patterns() {
+  static const std::vector<PatternRule> pats = {
+      {"raw-rng", std::regex(R"(\bstd::mt19937)"),
+       "std::mt19937 bypasses the seeded xoshiro streams; use xpuf::Rng"},
+      {"raw-rng", std::regex(R"(\bstd::(minstd_rand0?|default_random_engine|ranlux\w+|knuth_b)\b)"),
+       "std <random> engine bypasses the seeded xoshiro streams; use xpuf::Rng"},
+      {"raw-rng", std::regex(R"((^|[^\w:])s?rand\s*\()"),
+       "C rand()/srand() is neither seeded nor portable; use xpuf::Rng"},
+      {"raw-rng", std::regex(R"(\bstd::\w+_distribution\b)"),
+       "std <random> distributions differ across standard libraries; use the Rng "
+       "distribution helpers"},
+      {"nondeterminism", std::regex(R"(\bstd::random_device\b|[^\w:]random_device\b)"),
+       "random_device injects unseeded entropy; derive streams from the experiment seed"},
+      {"nondeterminism", std::regex(R"((^|[^\w:.])(time|clock)\s*\()"),
+       "wall-clock entropy makes runs unreproducible; thread an explicit seed instead"},
+      {"nondeterminism", std::regex(R"(\bgettimeofday\b|\bstd::chrono::system_clock\b)"),
+       "wall-clock entropy makes runs unreproducible; use steady_clock for intervals"},
+  };
+  return pats;
+}
+
+const std::regex& float_literal_pattern() {
+  // float x = 0.5;  (double literal, no f suffix)
+  static const std::regex re(
+      R"(\bfloat\s+\w+\s*=\s*[^;{]*\b\d+\.\d*(e[+-]?\d+)?(?![0-9fF]))");
+  return re;
+}
+
+const std::regex& cstyle_cast_pattern() {
+  static const std::regex re(
+      R"(\(\s*(float|double|int|unsigned|long|short|std::size_t|size_t|std::u?int(8|16|32|64)_t|u?int(8|16|32|64)_t)\s*\)\s*[A-Za-z_0-9(])");
+  return re;
+}
+
+// ---------------------------------------------------------------------------
+// vector<bool> declarations and parallel_for regions.
+
+const std::regex& vector_bool_decl_pattern() {
+  static const std::regex re(
+      R"(std::vector\s*<\s*(std::vector\s*<\s*)?bool\s*>\s*(>\s*)?[&*]?\s*([A-Za-z_]\w*))");
+  return re;
+}
+
+const std::regex& vector_bool_use_pattern() {
+  static const std::regex re(R"(\bvector\s*<\s*bool\b)");
+  return re;
+}
+
+/// Marks, per character of the blanked source, whether it falls inside a
+/// parallel_for / parallel_reduce call (anywhere between the call's opening
+/// parenthesis and its matching close — which covers the lambda body).
+std::vector<bool> mark_parallel_regions(const std::string& code) {
+  std::vector<bool> in_region(code.size(), false);
+  std::vector<int> call_stack;  // paren depth at each open parallel call
+  int paren_depth = 0;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (ident_char(c)) {
+      std::size_t j = i;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      const std::string word = code.substr(i, j - i);
+      if ((word == "parallel_for" || word == "parallel_reduce") &&
+          (i == 0 || (!ident_char(code[i - 1]) && code[i - 1] != ':'))) {
+        std::size_t k = j;
+        while (k < code.size() && std::isspace(static_cast<unsigned char>(code[k]))) ++k;
+        if (k < code.size() && code[k] == '(') call_stack.push_back(paren_depth);
+      }
+      if (!call_stack.empty())
+        for (std::size_t p = i; p < j; ++p) in_region[p] = true;
+      i = j;
+      continue;
+    }
+    if (c == '(') ++paren_depth;
+    if (c == ')') {
+      --paren_depth;
+      if (!call_stack.empty() && paren_depth == call_stack.back()) call_stack.pop_back();
+    }
+    if (!call_stack.empty()) in_region[i] = true;
+    ++i;
+  }
+  return in_region;
+}
+
+// ---------------------------------------------------------------------------
+// require-guard: function-definition scanner for src/puf//src/sim/ .cpp.
+
+const std::regex& container_param_pattern() {
+  static const std::regex re(
+      R"(std::vector\s*<|\bMatrix\b|\bVector\b|\bChallenge\b|\bBatch\b|\bBlock\b|\bScan\b|\bDataset\b|\bstd::span\b|\bstd::size_t\b)");
+  return re;
+}
+
+const std::set<std::string>& signature_stop_words() {
+  static const std::set<std::string> kw = {"if",     "for",   "while", "switch",
+                                           "return", "catch", "do",    "else",
+                                           "struct", "class", "enum",  "union"};
+  return kw;
+}
+
+struct FunctionDef {
+  std::size_t line0;      ///< 0-based line of the opening signature.
+  std::string signature;  ///< Text from statement start through the param ')'.
+  std::string params;     ///< First balanced parenthesis group.
+  std::string body;       ///< Text between the function's braces.
+};
+
+/// Blanks preprocessor-directive lines (they are not ;-terminated, so they
+/// would otherwise pollute the statement buffer of the structural pass).
+std::string blank_preprocessor_lines(const std::string& code) {
+  std::string out = code;
+  std::size_t line_start = 0;
+  bool in_directive = false;  // carries across '\'-continued directive lines
+  for (std::size_t i = 0; i <= code.size(); ++i) {
+    if (i == code.size() || code[i] == '\n') {
+      std::size_t j = line_start;
+      while (j < i && std::isspace(static_cast<unsigned char>(code[j]))) ++j;
+      if (j < i && code[j] == '#') in_directive = true;
+      if (in_directive) {
+        for (std::size_t k = line_start; k < i; ++k) out[k] = ' ';
+        std::size_t last = i;
+        while (last > line_start &&
+               std::isspace(static_cast<unsigned char>(code[last - 1])) && code[last - 1] != '\n')
+          --last;
+        in_directive = last > line_start && code[last - 1] == '\\';
+      }
+      line_start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// Extremely small structural pass: tracks namespace nesting on the blanked
+/// source and yields function definitions at namespace scope.
+std::vector<FunctionDef> find_namespace_scope_functions(const std::string& raw_code) {
+  const std::string code = blank_preprocessor_lines(raw_code);
+  std::vector<FunctionDef> out;
+  std::vector<char> scopes;  // 'n' named ns, 'a' anon ns, 'f' function, 'o' other
+  std::string stmt;          // text since last ; { }
+  bool stmt_has_content = false;  // stmt holds a non-whitespace char
+  std::size_t stmt_line0 = 0;
+  std::size_t line0 = 0;
+  auto ns_depth = [&] {
+    return static_cast<std::size_t>(
+        std::count_if(scopes.begin(), scopes.end(), [](char s) { return s == 'n' || s == 'a'; }));
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '\n') ++line0;
+    if (c == ';') {
+      stmt.clear();
+      stmt_has_content = false;
+      stmt_line0 = line0 + 1;
+      continue;
+    }
+    if (c == '}') {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt.clear();
+      stmt_has_content = false;
+      stmt_line0 = line0 + 1;
+      continue;
+    }
+    if (c != '{') {
+      // Whitespace accumulates in stmt, so anchor the statement's line on the
+      // first real character, not on stmt.empty().
+      if (!stmt_has_content && !std::isspace(static_cast<unsigned char>(c))) {
+        stmt_line0 = line0;
+        stmt_has_content = true;
+      }
+      stmt.push_back(c);
+      continue;
+    }
+    // Opening brace: classify the scope from the pending statement text.
+    const std::string t = trim(stmt);
+    static const std::regex ns_re(R"(^namespace(\s+[\w:]+)?\s*$)");
+    std::smatch m;
+    char kind = 'o';
+    if (std::regex_match(t, m, ns_re)) {
+      kind = m[1].matched ? 'n' : 'a';
+    } else if (scopes.size() == ns_depth() && t.find('(') != std::string::npos) {
+      // Candidate function definition at namespace scope. Extract the first
+      // balanced paren group and the identifier before it.
+      const std::size_t open = t.find('(');
+      int depth = 0;
+      std::size_t close = std::string::npos;
+      for (std::size_t k = open; k < t.size(); ++k) {
+        if (t[k] == '(') ++depth;
+        if (t[k] == ')' && --depth == 0) {
+          close = k;
+          break;
+        }
+      }
+      std::size_t name_end = open;
+      while (name_end > 0 && std::isspace(static_cast<unsigned char>(t[name_end - 1])))
+        --name_end;
+      std::size_t name_begin = name_end;
+      while (name_begin > 0 && ident_char(t[name_begin - 1])) --name_begin;
+      const std::string name = t.substr(name_begin, name_end - name_begin);
+      const bool in_anon =
+          std::find(scopes.begin(), scopes.end(), 'a') != scopes.end();
+      if (close != std::string::npos && !name.empty() && !in_anon &&
+          !signature_stop_words().count(name) && t.find("operator") == std::string::npos &&
+          t.rfind("static ", 0) != 0 && t.find('=') == std::string::npos) {
+        kind = 'f';
+        FunctionDef def;
+        def.line0 = stmt_line0;
+        def.signature = t.substr(0, close + 1);
+        def.params = t.substr(open + 1, close - open - 1);
+        // Capture the body: from i+1 to the matching close brace.
+        int bdepth = 1;
+        std::size_t j = i + 1;
+        while (j < code.size() && bdepth > 0) {
+          if (code[j] == '{') ++bdepth;
+          if (code[j] == '}') --bdepth;
+          ++j;
+        }
+        def.body = code.substr(i + 1, j - i - 2 < code.size() ? j - i - 2 : 0);
+        out.push_back(std::move(def));
+      }
+    }
+    scopes.push_back(kind);
+    stmt.clear();
+    stmt_has_content = false;
+    stmt_line0 = line0 + 1;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// include-order.
+
+struct IncludeDirective {
+  std::size_t line0;
+  std::string path;  ///< Without the delimiters.
+  bool angled;
+};
+
+// Collected from the RAW lines: the comment/string blanking pass erases the
+// path inside a quoted include, which is exactly the text this rule needs.
+std::vector<IncludeDirective> collect_includes(const std::vector<std::string>& raw_lines) {
+  static const std::regex re(R"(^\s*#\s*include\s*([<"])([^>"]+)[>"])");
+  std::vector<IncludeDirective> out;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(raw_lines[i], m, re))
+      out.push_back({i, m[2].str(), m[1].str() == "<"});
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+bool is_known_rule(const std::string& rule) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return r.name == rule; });
+}
+
+std::vector<std::string> parse_allow_comment(const std::string& line) {
+  // Reject the allow-file form: "allow-file(" also contains "allow" but the
+  // marker match below requires the next non-space char to be '('.
+  const std::size_t at = line.find("xpuf-lint:");
+  if (at == std::string::npos) return {};
+  std::string rest = trim(line.substr(at + std::string("xpuf-lint:").size()));
+  if (rest.rfind("allow", 0) != 0 || rest.rfind("allow-file", 0) == 0) return {};
+  return parse_allow_list(line, "xpuf-lint:");
+}
+
+std::vector<std::string> parse_allow_file_comment(const std::string& line) {
+  const std::size_t at = line.find("xpuf-lint:");
+  if (at == std::string::npos) return {};
+  std::string rest = trim(line.substr(at + std::string("xpuf-lint:").size()));
+  if (rest.rfind("allow-file", 0) != 0) return {};
+  return parse_allow_list(line, "allow-file");
+}
+
+void collect_vector_bool_names(const std::string& content, std::set<std::string>& out) {
+  const std::string code = blank_comments_and_strings(content);
+  auto begin = std::sregex_iterator(code.begin(), code.end(), vector_bool_decl_pattern());
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[3].str();
+    if (!name.empty() && !std::isdigit(static_cast<unsigned char>(name[0]))) out.insert(name);
+  }
+}
+
+std::vector<Violation> lint_source(const std::string& rel_path, const std::string& content,
+                                   const Context& ctx) {
+  std::vector<Violation> out;
+  const std::string code = blank_comments_and_strings(content);
+  const std::vector<std::string> raw_lines = split_lines(content);
+  const std::vector<std::string> code_lines = split_lines(code);
+  const Suppressions sup = build_suppressions(rel_path, raw_lines);
+
+  auto report = [&](const std::string& rule, std::size_t line0, const std::string& msg) {
+    if (!sup.allows(rule, line0)) out.push_back({rel_path, line0 + 1, rule, msg});
+  };
+  // Meta findings go through report() too, so a file documenting the
+  // suppression syntax can allow(bad-suppression) its own examples.
+  for (const Violation& v : sup.meta) report(v.rule, v.line - 1, v.message);
+
+  // raw-rng / nondeterminism (path-exempt: the RNG implementation itself —
+  // raw-rng for both rng files, nondeterminism for rng.cpp only, where the
+  // one sanctioned entropy escape hatch may live).
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    for (const PatternRule& pr : raw_rng_patterns()) {
+      const bool is_raw_rng = std::string(pr.rule) == "raw-rng";
+      if (is_raw_rng && is_rng_file(rel_path)) continue;
+      if (!is_raw_rng && rel_path == "src/common/rng.cpp") continue;
+      if (std::regex_search(code_lines[i], pr.pattern)) report(pr.rule, i, pr.message);
+    }
+  }
+
+  // narrowing.
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    if (std::regex_search(code_lines[i], float_literal_pattern()))
+      report("narrowing", i, "double literal initializes a float; add an f suffix");
+    if (std::regex_search(code_lines[i], cstyle_cast_pattern()))
+      report("narrowing", i, "C-style arithmetic cast; use static_cast<> so narrowing is explicit");
+  }
+
+  // vector-bool-parallel. The name set is scoped: identifiers declared in
+  // this file plus in every project header this file includes.
+  std::set<std::string> vb_names;
+  collect_vector_bool_names(content, vb_names);
+  for (const IncludeDirective& inc : collect_includes(raw_lines)) {
+    if (inc.angled) continue;
+    for (const auto& [file, names] : ctx.vector_bool_names_by_file) {
+      if (file == inc.path || (file.size() > inc.path.size() &&
+                               file.compare(file.size() - inc.path.size() - 1, 1, "/") == 0 &&
+                               file.compare(file.size() - inc.path.size(), inc.path.size(),
+                                            inc.path) == 0)) {
+        vb_names.insert(names.begin(), names.end());
+      }
+    }
+  }
+  {
+    const std::vector<bool> region = mark_parallel_regions(code);
+    // Line start offsets into `code`.
+    std::vector<std::size_t> line_begin;
+    line_begin.push_back(0);
+    for (std::size_t i = 0; i < code.size(); ++i)
+      if (code[i] == '\n') line_begin.push_back(i + 1);
+    for (std::size_t li = 0; li < code_lines.size(); ++li) {
+      const std::size_t begin = line_begin[li];
+      const std::size_t end = begin + code_lines[li].size();
+      bool any_in_region = false;
+      for (std::size_t p = begin; p < end && p < region.size(); ++p)
+        if (region[p]) {
+          any_in_region = true;
+          break;
+        }
+      if (!any_in_region) continue;
+      const std::string& line = code_lines[li];
+      if (std::regex_search(line, vector_bool_use_pattern())) {
+        report("vector-bool-parallel", li,
+               "vector<bool> type used inside a parallel_for body; stage std::uint8_t and "
+               "commit serially");
+        continue;
+      }
+      for (const std::string& name : vb_names) {
+        const std::regex use(R"((^|[^\w.])()" + name + R"()\s*\[)");
+        std::smatch m;
+        if (std::regex_search(line, m, use) ||
+            std::regex_search(line, std::regex(R"(\.\s*()" + name + R"()\s*\[)"))) {
+          report("vector-bool-parallel", li,
+                 "'" + name +
+                     "' is declared vector<bool>; indexing it inside a parallel_for body "
+                     "races on shared words");
+          break;
+        }
+      }
+    }
+  }
+
+  // require-guard: only .cpp files in src/puf/ and src/sim/.
+  const bool guard_scope =
+      (path_has_prefix(rel_path, "src/puf/") || path_has_prefix(rel_path, "src/sim/")) &&
+      rel_path.size() > 4 && rel_path.substr(rel_path.size() - 4) == ".cpp";
+  if (guard_scope) {
+    for (const FunctionDef& def : find_namespace_scope_functions(code)) {
+      if (!std::regex_search(def.params, container_param_pattern())) continue;
+      if (def.body.find("XPUF_REQUIRE") != std::string::npos) continue;
+      // A body that immediately delegates has its guard in the callee; the
+      // heuristic skips single-statement forwarders.
+      if (std::count(def.body.begin(), def.body.end(), ';') <= 1) continue;
+      report("require-guard", def.line0,
+             "public entry point takes dimensioned parameters but has no XPUF_REQUIRE "
+             "precondition check");
+    }
+  }
+
+  // include-order.
+  {
+    const std::vector<IncludeDirective> includes = collect_includes(raw_lines);
+    const bool is_header = rel_path.size() > 4 &&
+                           rel_path.substr(rel_path.size() - 4) == ".hpp";
+    if (is_header) {
+      std::size_t pragma_line = std::string::npos;
+      for (std::size_t i = 0; i < code_lines.size(); ++i) {
+        if (std::regex_search(code_lines[i], std::regex(R"(^\s*#\s*pragma\s+once\b)"))) {
+          pragma_line = i;
+          break;
+        }
+      }
+      if (pragma_line == std::string::npos) {
+        report("include-order", 0, "header has no #pragma once");
+      } else if (!includes.empty() && includes.front().line0 < pragma_line) {
+        report("include-order", includes.front().line0,
+               "#include precedes #pragma once; the guard must come first");
+      }
+    }
+    const bool is_cpp =
+        rel_path.size() > 4 && rel_path.substr(rel_path.size() - 4) == ".cpp";
+    if (is_cpp && !includes.empty()) {
+      std::string stem = basename_of(rel_path);
+      stem = stem.substr(0, stem.size() - 4);
+      const auto self = std::find_if(includes.begin(), includes.end(), [&](const auto& inc) {
+        const std::string base = basename_of(inc.path);
+        return !inc.angled && base == stem + ".hpp";
+      });
+      if (self != includes.end() && self != includes.begin()) {
+        report("include-order", self->line0,
+               "self header \"" + self->path + "\" must be the first include");
+      }
+    }
+    // A leading quoted include is the TU's primary header (self header, or
+    // e.g. lint.hpp for main.cpp); after it, system headers come before
+    // project headers.
+    std::size_t first_checked =
+        (is_cpp && !includes.empty() && !includes.front().angled) ? 1 : 0;
+    bool seen_quoted = false;
+    for (std::size_t i = first_checked; i < includes.size(); ++i) {
+      if (!includes[i].angled) {
+        seen_quoted = true;
+      } else if (seen_quoted) {
+        report("include-order", includes[i].line0,
+               "<" + includes[i].path + "> appears after \"project\" includes; system "
+               "headers come first");
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<Violation> lint_tree(const std::string& root) {
+  const std::vector<std::string> trees = {"src", "bench", "tests", "tools"};
+  std::vector<std::pair<std::string, std::string>> files;  // rel path, content
+  for (const std::string& tree : trees) {
+    const fs::path dir = fs::path(root) / tree;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      files.emplace_back(fs::relative(entry.path(), root).generic_string(), ss.str());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Context ctx;
+  for (const auto& [rel, content] : files)
+    collect_vector_bool_names(content, ctx.vector_bool_names_by_file[rel]);
+
+  std::vector<Violation> out;
+  for (const auto& [rel, content] : files) {
+    std::vector<Violation> v = lint_source(rel, content, ctx);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::vector<Violation> check_tidy_config(const std::string& path) {
+  std::vector<Violation> out;
+  std::ifstream in(path);
+  if (!in) {
+    out.push_back({path, 0, "tidy-config", "config file missing or unreadable"});
+    return out;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  const std::vector<std::string> lines = split_lines(content);
+  bool has_checks = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.find('\t') != std::string::npos)
+      out.push_back({path, i + 1, "tidy-config", "tab indentation; clang-tidy YAML requires spaces"});
+    if (std::regex_search(line, std::regex(R"(^Checks\s*:)"))) has_checks = true;
+    // Quote balance is checked outside YAML comments (apostrophes in prose
+    // are fine).
+    const std::size_t hash = line.find('#');
+    const std::string yaml = hash == std::string::npos ? line : line.substr(0, hash);
+    const auto quotes = std::count(yaml.begin(), yaml.end(), '\'');
+    if (quotes % 2 != 0)
+      out.push_back({path, i + 1, "tidy-config", "unbalanced single quote"});
+  }
+  if (!has_checks) out.push_back({path, 0, "tidy-config", "no top-level Checks: key"});
+  return out;
+}
+
+}  // namespace xpuf::lint

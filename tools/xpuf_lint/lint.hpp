@@ -1,0 +1,105 @@
+// xpuf_lint — project-invariant checker for the xpuf tree.
+//
+// The reproducibility guarantees this repo makes (bit-identical scans for any
+// thread count, exactly reseedable experiments, loud precondition failures)
+// depend on conventions that the compiler cannot enforce: every random draw
+// must flow through common/rng, parallel bodies must not touch bit-packed
+// vector<bool> storage, and public puf//sim/ entry points must validate their
+// dimensions with XPUF_REQUIRE. xpuf_lint machine-checks those conventions at
+// the token/regex level — deliberately no libclang dependency, so it builds
+// and runs everywhere the library does.
+//
+// Rules — each suppressible per line via an allow comment (the marker is
+// `xpuf-lint:` followed by `allow(rule, ...)`, or `allow-file(rule, ...)` for
+// a whole file). The syntax examples in this header are themselves parsed, so:
+// xpuf-lint: allow-file(bad-suppression)
+//
+//   raw-rng              std::mt19937 / rand() / srand() / std::*_distribution
+//                        outside src/common/rng.{hpp,cpp}
+//   nondeterminism       time( / clock( / std::random_device /
+//                        system_clock outside src/common/rng.cpp
+//   vector-bool-parallel vector<bool> (the type, or an identifier declared
+//                        with that type anywhere in the tree) indexed inside
+//                        a parallel_for body
+//   require-guard        public function definitions in src/puf//src/sim/
+//                        .cpp files taking container/dimension parameters
+//                        whose body never checks XPUF_REQUIRE
+//   narrowing            double literal initializing a float without an f
+//                        suffix, and C-style arithmetic casts (use
+//                        static_cast)
+//   include-order        headers missing #pragma once (or placing it after an
+//                        include); .cpp not including its own header first;
+//                        <system> includes after "project" includes
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xpuf::lint {
+
+struct Violation {
+  std::string file;     ///< Path as given to the linter.
+  std::size_t line;     ///< 1-based line number.
+  std::string rule;     ///< Rule identifier (see rules()).
+  std::string message;  ///< Human-readable explanation.
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// The full rule registry (stable order, stable names — the names are the
+/// suppression-comment vocabulary).
+const std::vector<RuleInfo>& rules();
+
+/// True iff `rule` names a registered rule.
+bool is_known_rule(const std::string& rule);
+
+/// Parses `// xpuf-lint: allow(a, b)` out of a raw source line. Returns the
+/// listed rule names (empty if the line carries no allow comment). Unknown
+/// rule names are returned too — lint_source reports them as violations of
+/// the meta rule "bad-suppression" so typos cannot silently disable checks.
+std::vector<std::string> parse_allow_comment(const std::string& line);
+
+/// Same for the file-wide form `// xpuf-lint: allow-file(a, b)`.
+std::vector<std::string> parse_allow_file_comment(const std::string& line);
+
+/// Cross-file knowledge the per-file pass needs: identifiers declared with
+/// type vector<bool> (possibly nested), per file, so a .cpp using a
+/// header-declared bit-packed field is still caught inside parallel bodies.
+/// Scoped per file (a file only sees names from itself and the headers it
+/// includes) so a common name like `bits` in one test cannot poison the rule
+/// for an unrelated translation unit.
+struct Context {
+  /// Key: path relative to the repo root. Value: vector<bool> identifiers
+  /// declared in that file.
+  std::map<std::string, std::set<std::string>> vector_bool_names_by_file;
+};
+
+/// Scans `content` for vector<bool> declarations and records the declared
+/// identifiers into `out` (pass 1 of lint_tree).
+void collect_vector_bool_names(const std::string& content, std::set<std::string>& out);
+
+/// Lints one in-memory translation unit. `rel_path` is the path relative to
+/// the repo root; it drives path-scoped rules (the common/rng exemption for
+/// raw-rng/nondeterminism, and require-guard applying only to .cpp files
+/// under src/puf/ and src/sim/). Comments and string literals are blanked
+/// before any pattern matching, so mentioning `rand()` in a comment is fine.
+std::vector<Violation> lint_source(const std::string& rel_path, const std::string& content,
+                                   const Context& ctx);
+
+/// Walks `root`'s source trees (src/, bench/, tests/, tools/ — .cpp and
+/// .hpp), builds the Context in a first pass, and lints every file.
+/// Violations come back sorted by (file, line).
+std::vector<Violation> lint_tree(const std::string& root);
+
+/// Sanity-checks a .clang-tidy config: file exists, has a non-empty Checks
+/// key, balanced quotes, and no tab indentation (clang-tidy's YAML parser
+/// rejects tabs). Returns problems as violations against the config path.
+std::vector<Violation> check_tidy_config(const std::string& path);
+
+}  // namespace xpuf::lint

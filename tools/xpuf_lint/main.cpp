@@ -1,0 +1,61 @@
+// xpuf_lint CLI.
+//
+//   xpuf_lint --root <repo-root>           lint src/ bench/ tests/ tools/
+//   xpuf_lint --list-rules                 print the rule registry
+//   xpuf_lint --check-tidy-config <file>   validate a .clang-tidy config
+//
+// Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
+#include "lint.hpp"
+
+#include <cstdio>
+#include <string>
+
+int main(int argc, char** argv) {
+  using namespace xpuf::lint;
+  std::string root = ".";
+  std::string tidy_config;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--check-tidy-config" && i + 1 < argc) {
+      tidy_config = argv[++i];
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: xpuf_lint [--root DIR] [--list-rules] [--check-tidy-config FILE]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "xpuf_lint: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list_rules) {
+    for (const RuleInfo& r : rules())
+      std::printf("%-22s %s\n", r.name.c_str(), r.summary.c_str());
+    return 0;
+  }
+
+  if (!tidy_config.empty()) {
+    const auto problems = check_tidy_config(tidy_config);
+    for (const Violation& v : problems)
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                   v.message.c_str());
+    if (problems.empty()) std::printf("tidy config OK: %s\n", tidy_config.c_str());
+    return problems.empty() ? 0 : 1;
+  }
+
+  const auto violations = lint_tree(root);
+  for (const Violation& v : violations)
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                 v.message.c_str());
+  if (violations.empty()) {
+    std::printf("xpuf_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr, "xpuf_lint: %zu violation(s)\n", violations.size());
+  return 1;
+}
