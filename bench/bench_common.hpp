@@ -10,6 +10,7 @@
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -86,6 +87,46 @@ class BenchTimer {
   std::string name_;
   Timer timer_;
   std::uint64_t items_;
+};
+
+/// Shared observability flags: every bench that constructs a MetricsReport
+/// understands `--metrics` (human-readable table on exit) and
+/// `--metrics-out <file>` (JSON snapshot of the global MetricsRegistry, same
+/// record family as bench_out/<name>_timing.json). Snapshot counts and
+/// bucket shapes are deterministic; only span seconds carry wall-clock.
+class MetricsReport {
+ public:
+  MetricsReport(const Cli& cli, std::string bench_name)
+      : name_(std::move(bench_name)),
+        json_path_(cli.get("metrics-out", "")),
+        table_(cli.has("metrics")) {}
+
+  MetricsReport(const MetricsReport&) = delete;
+  MetricsReport& operator=(const MetricsReport&) = delete;
+
+  ~MetricsReport() {
+    if (json_path_.empty() && !table_) return;
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    if (table_) {
+      std::printf("\n");
+      snap.print();
+    }
+    if (json_path_.empty()) return;
+    if (std::FILE* f = std::fopen(json_path_.c_str(), "w")) {
+      const std::string json =
+          snap.to_json(name_, ThreadPool::global_threads(), /*include_timing=*/true);
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("metrics written: %s\n", json_path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: cannot open %s for writing\n", json_path_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  bool table_;
 };
 
 }  // namespace xpuf::benchutil

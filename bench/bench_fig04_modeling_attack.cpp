@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Fig 4: MLP attack accuracy vs training size and n", scale);
   benchutil::BenchTimer timing("fig04_modeling_attack", scale.attack_max_train);
+  benchutil::MetricsReport metrics(cli, "fig04_modeling_attack");
 
   std::vector<std::size_t> widths;
   std::vector<std::size_t> train_sizes;

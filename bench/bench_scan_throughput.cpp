@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   if (!cli.has("trials") && !scale.full) scale.trials = 1'000;
   benchutil::banner("Scan throughput: parallel scan_individual", scale);
   benchutil::BenchTimer timing("scan_throughput", scale.challenges * n_pufs);
+  benchutil::MetricsReport metrics(cli, "scan_throughput");
 
   sim::ChipPopulation pop(benchutil::population_config(scale, n_pufs));
   Rng rng = pop.measurement_rng();

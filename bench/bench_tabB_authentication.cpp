@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "puf/authentication.hpp"
+#include "puf/database.hpp"
 #include "puf/threshold_adjust.hpp"
 
 int main(int argc, char** argv) {
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   const BenchScale scale = resolve_scale(cli);
   benchutil::banner("Tab B: zero-HD authentication across V/T corners", scale);
   benchutil::BenchTimer timing("tabB_authentication", scale.challenges);
+  benchutil::MetricsReport metrics(cli, "tabB_authentication");
 
   const std::size_t n_pufs = 10;
   sim::ChipPopulation pop(benchutil::population_config(scale, n_pufs));
@@ -91,5 +93,27 @@ int main(int argc, char** argv) {
               "criterion at every corner; random CRPs cannot (one-shot XOR sampling "
               "hits unstable responses), and nominal-only measured selection degrades "
               "once V/T moves.\n");
+
+  // Replay-protection accounting: a server that reuses its issuance RNG seed
+  // (restart, misconfiguration, or an adversary replaying a recorded session)
+  // re-draws challenges already in the device's ledger. The database must
+  // refuse them, refill the batch from fresh draws, and COUNT the rejections
+  // — the per-device issuance signal that makes chosen-challenge probing
+  // observable.
+  puf::ServerDatabase db(
+      puf::DatabaseConfig{.n_pufs = n_pufs, .policy = {.challenge_count = batch_size}});
+  db.register_device(model);
+  Rng first_session(424242);
+  const puf::DatabaseAuthOutcome first =
+      db.authenticate(chip, sim::Environment::nominal(), first_session);
+  Rng replayed_session(424242);  // same seed: identical candidate stream
+  const puf::DatabaseAuthOutcome second =
+      db.authenticate(chip, sim::Environment::nominal(), replayed_session);
+  std::printf("\nreplay ledger: first auth tried %zu candidates (0 replays), "
+              "re-seeded second auth rejected %zu replayed challenges, refilled, "
+              "and %s (ledger now %zu challenges)\n",
+              first.outcome.candidates_tried, second.replay_rejected,
+              second.outcome.approved ? "approved" : "DENIED",
+              db.issued_count(chip.id()));
   return 0;
 }

@@ -1,0 +1,219 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace xpuf {
+
+namespace metrics_detail {
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace metrics_detail
+
+namespace {
+
+std::uint64_t sum_cells(const std::array<metrics_detail::Cell, metrics_detail::kShards>& cells) {
+  std::uint64_t total = 0;
+  for (const auto& c : cells) total += c.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+void zero_cells(std::array<metrics_detail::Cell, metrics_detail::kShards>& cells) {
+  for (auto& c : cells) c.value.store(0, std::memory_order_relaxed);
+}
+
+/// Shortest round-trippable representation; JSON has no inf/nan, so clamp
+/// the pathological cases to null-free sentinels rather than emit them.
+std::string json_double(double v) {
+  if (!(v == v)) return "0";            // NaN
+  if (v > 1e308 || v < -1e308) return v > 0 ? "1e308" : "-1e308";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t Counter::total() const { return sum_cells(cells_); }
+
+void Counter::reset() { zero_cells(cells_); }
+
+// buckets_ is sized in the init list: vector of atomic-holding arrays is
+// neither copyable nor movable, so it must be built at its final size.
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  XPUF_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bucket bounds must be ascending");
+}
+
+void Histogram::observe(double v) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[bucket][metrics_detail::shard_index()].value.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(sum_cells(b));
+  return out;
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += sum_cells(b);
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) zero_cells(b);
+}
+
+void SpanStat::record(double seconds) {
+  const std::size_t shard = metrics_detail::shard_index();
+  calls_[shard].value.fetch_add(1, std::memory_order_relaxed);
+  const double nanos = seconds > 0.0 ? seconds * 1e9 : 0.0;
+  nanos_[shard].value.fetch_add(static_cast<std::uint64_t>(nanos),
+                                std::memory_order_relaxed);
+}
+
+std::uint64_t SpanStat::calls() const { return sum_cells(calls_); }
+
+double SpanStat::seconds() const {
+  return static_cast<double>(sum_cells(nanos_)) * 1e-9;
+}
+
+void SpanStat::reset() {
+  zero_cells(calls_);
+  zero_cells(nanos_);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else {
+    XPUF_REQUIRE(slot->bounds() == bounds,
+                 "histogram re-registered with different bucket bounds");
+  }
+  return *slot;
+}
+
+SpanStat& MetricsRegistry::span(const std::string& label) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = spans_[label];
+  if (!slot) slot = std::make_unique<SpanStat>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->total();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->get();
+  for (const auto& [name, h] : histograms_)
+    snap.histograms[name] = {h->bounds(), h->counts(), h->total()};
+  for (const auto& [name, s] : spans_) snap.spans[name] = {s->calls(), s->seconds()};
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : spans_) s->reset();
+}
+
+std::string MetricsSnapshot::to_json(const std::string& name, std::uint64_t threads,
+                                     bool include_timing) const {
+  std::string out = "{\"name\": \"" + name + "\", \"threads\": " +
+                    std::to_string(threads) + ",\n \"counters\": {";
+  bool first = true;
+  for (const auto& [k, v] : counters) {
+    out += std::string(first ? "" : ", ") + "\"" + k + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += "},\n \"gauges\": {";
+  first = true;
+  for (const auto& [k, v] : gauges) {
+    out += std::string(first ? "" : ", ") + "\"" + k + "\": " + json_double(v);
+    first = false;
+  }
+  out += "},\n \"histograms\": {";
+  first = true;
+  for (const auto& [k, h] : histograms) {
+    out += std::string(first ? "" : ", ") + "\"" + k + "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i)
+      out += (i ? ", " : "") + json_double(h.bounds[i]);
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      out += (i ? ", " : "") + std::to_string(h.counts[i]);
+    out += "], \"total\": " + std::to_string(h.total) + "}";
+    first = false;
+  }
+  out += "},\n \"spans\": {";
+  first = true;
+  for (const auto& [k, s] : spans) {
+    out += std::string(first ? "" : ", ") + "\"" + k +
+           "\": {\"calls\": " + std::to_string(s.calls);
+    if (include_timing) out += ", \"seconds\": " + json_double(s.seconds);
+    out += "}";
+    first = false;
+  }
+  out += "}}\n";
+  return out;
+}
+
+void MetricsSnapshot::print() const {
+  Table t("Metrics snapshot");
+  t.set_header({"metric", "kind", "value"});
+  for (const auto& [k, v] : counters)
+    t.add_row({k, "counter", std::to_string(v)});
+  for (const auto& [k, v] : gauges) t.add_row({k, "gauge", Table::num(v, 3)});
+  for (const auto& [k, h] : histograms) {
+    std::string shape;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string bound =
+          i < h.bounds.size() ? "<=" + Table::num(h.bounds[i], 0) : "inf";
+      shape += (i ? " " : "") + bound + ":" + std::to_string(h.counts[i]);
+    }
+    t.add_row({k, "histogram", shape});
+  }
+  for (const auto& [k, s] : spans)
+    t.add_row({k, "span", std::to_string(s.calls) + " calls, " +
+                              Table::num(s.seconds * 1e3, 3) + " ms"});
+  t.print();
+}
+
+}  // namespace xpuf

@@ -1,0 +1,176 @@
+// Process-wide operational metrics for the authentication pipeline.
+//
+// The paper's protocol (Fig 7) is judged by operational counters — selector
+// draws per issued batch, mismatches under the zero-HD criterion, replay
+// rejections — and the production north star (millions of authentications)
+// needs those numbers visible without attaching a profiler. MetricsRegistry
+// holds named counters, gauges, and fixed-bucket histograms; hot paths cache
+// a reference once (`static Counter& c = ...`) and record through per-thread
+// shards, so `parallel_for` bodies can count without contention and without
+// perturbing the deterministic execution contract (common/parallel.hpp):
+// recording never draws randomness, never blocks, and totals are pure sums —
+// identical for any thread count.
+//
+// Determinism rule for consumers: counts, gauge values, and bucket shapes
+// are reproducible and may appear in test-visible output; span wall-clock
+// seconds are not and must stay out of any compared artifact (snapshot
+// serialization takes an `include_timing` switch for exactly this reason).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xpuf {
+
+namespace metrics_detail {
+
+/// Per-metric shard count. Threads map onto slots by registration order, so
+/// the first kShards threads never share a cache line; later threads reuse
+/// slots (still correct — cells are atomic — just contended).
+constexpr std::size_t kShards = 32;
+
+/// This thread's stable shard slot.
+std::size_t shard_index();
+
+/// One cache line per shard so concurrent recorders never false-share.
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+}  // namespace metrics_detail
+
+/// Monotonic event count, sharded per thread. add() is safe anywhere,
+/// including inside parallel_for bodies.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[metrics_detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards (snapshot-time merge).
+  std::uint64_t total() const;
+
+  void reset();
+
+ private:
+  std::array<metrics_detail::Cell, metrics_detail::kShards> cells_{};
+};
+
+/// Last-writer-wins instantaneous value (ledger sizes, device counts).
+/// Intended for serial sections; concurrent set() is safe but which write
+/// survives is unspecified.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double get() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations v <= bound[i]; one
+/// implicit overflow bucket catches the rest. Bounds are fixed at creation
+/// so the bucket SHAPE is part of the metric's identity and snapshots are
+/// comparable across runs.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket totals (bounds().size() + 1 entries) merged over shards.
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t total() const;
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  /// buckets_[bucket][shard].
+  std::vector<std::array<metrics_detail::Cell, metrics_detail::kShards>> buckets_;
+};
+
+/// Aggregated scoped-timer statistics for one label: how often the span ran
+/// and how much wall-clock it accumulated. Filled by TraceSpan
+/// (common/trace.hpp); call counts are deterministic, seconds are not.
+class SpanStat {
+ public:
+  void record(double seconds);
+
+  std::uint64_t calls() const;
+  double seconds() const;
+
+  void reset();
+
+ private:
+  std::array<metrics_detail::Cell, metrics_detail::kShards> calls_{};
+  std::array<metrics_detail::Cell, metrics_detail::kShards> nanos_{};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
+  std::uint64_t total = 0;
+};
+
+struct SpanSnapshot {
+  std::uint64_t calls = 0;
+  double seconds = 0.0;
+};
+
+/// Point-in-time merge of every registered metric, keyed by name (sorted —
+/// serialization order is deterministic).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, SpanSnapshot> spans;
+
+  /// One JSON object (same family as the bench_out/<name>_timing.json
+  /// records: top-level "name"/"threads" plus the metric sections). With
+  /// `include_timing` false, span seconds are omitted so the output is a
+  /// pure function of the workload — the form tests may compare.
+  std::string to_json(const std::string& name = "", std::uint64_t threads = 0,
+                      bool include_timing = true) const;
+
+  /// Human-readable dump (benches: --metrics).
+  void print() const;
+};
+
+/// Name -> metric registry. Registration (the name lookup) takes a mutex;
+/// recording through the returned reference is lock-free, so hot paths do
+/// the lookup once into a function-local static. References stay valid for
+/// the life of the process; reset() zeroes values but never unregisters.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Naming convention: "<area>.<noun>", e.g. "auth.replay_rejected".
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Re-requesting an existing histogram requires identical bounds.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  SpanStat& span(const std::string& label);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (tests isolate sections with this).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SpanStat>> spans_;
+};
+
+}  // namespace xpuf

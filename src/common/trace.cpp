@@ -1,0 +1,9 @@
+#include "common/trace.hpp"
+
+namespace xpuf {
+
+// Out of line so instrumented translation units don't inline the recording
+// path everywhere; the hot cost is one steady_clock read at each end.
+TraceSpan::~TraceSpan() { stat_->record(timer_.seconds()); }
+
+}  // namespace xpuf

@@ -1,0 +1,44 @@
+// RAII tracing spans over the metrics registry.
+//
+// XPUF_TRACE_SPAN("db.issue_batch") at the top of a function registers the
+// label once (thread-safe function-local static), then every execution adds
+// one call and its wall-clock to that label's SpanStat. Call counts are a
+// deterministic function of the workload; seconds are observability-only
+// and must never reach test-compared output (see common/metrics.hpp).
+//
+// Timing flows exclusively through Timer (common/timer.hpp) — the xpuf_lint
+// `raw-timing` rule keeps std::chrono::steady_clock out of the rest of the
+// tree so no ad-hoc clock reads creep into measurement paths.
+#pragma once
+
+#include "common/metrics.hpp"
+#include "common/timer.hpp"
+
+namespace xpuf {
+
+/// Scoped timer that aggregates into a SpanStat on destruction. Cheap to
+/// construct (one steady_clock read via Timer); safe on any thread.
+class TraceSpan {
+ public:
+  explicit TraceSpan(SpanStat& stat) : stat_(&stat) {}
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  SpanStat* stat_;
+  Timer timer_;
+};
+
+}  // namespace xpuf
+
+#define XPUF_TRACE_CONCAT_INNER(a, b) a##b
+#define XPUF_TRACE_CONCAT(a, b) XPUF_TRACE_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope under `label` in the global registry.
+#define XPUF_TRACE_SPAN(label)                                              \
+  static ::xpuf::SpanStat& XPUF_TRACE_CONCAT(xpuf_span_stat_, __LINE__) =   \
+      ::xpuf::MetricsRegistry::global().span(label);                        \
+  const ::xpuf::TraceSpan XPUF_TRACE_CONCAT(xpuf_trace_span_, __LINE__)(    \
+      XPUF_TRACE_CONCAT(xpuf_span_stat_, __LINE__))

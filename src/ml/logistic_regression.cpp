@@ -5,7 +5,9 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace xpuf::ml {
 
@@ -22,6 +24,7 @@ struct LossGrad {
 }  // namespace
 
 LbfgsResult LogisticRegression::fit(const Dataset& data) {
+  XPUF_TRACE_SPAN("ml.lr_fit");
   XPUF_REQUIRE(!data.empty(), "LogisticRegression::fit on empty dataset");
   const std::size_t n = data.size();
   const std::size_t d = data.features();
@@ -63,6 +66,11 @@ LbfgsResult LogisticRegression::fit(const Dataset& data) {
 
   LbfgsResult res = minimize_lbfgs(obj, linalg::Vector(d), options_.lbfgs);
   weights_ = res.x;
+  auto& registry = MetricsRegistry::global();
+  static Counter& iterations = registry.counter("ml.lbfgs_iterations");
+  static Counter& evaluations = registry.counter("ml.objective_evaluations");
+  iterations.add(res.iterations);
+  evaluations.add(res.evaluations);
   return res;
 }
 

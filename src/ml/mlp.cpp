@@ -6,7 +6,9 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace xpuf::ml {
 
@@ -193,18 +195,27 @@ double Mlp::loss_and_gradient(const linalg::Matrix& x, const linalg::Vector& y,
 }
 
 LbfgsResult Mlp::fit(const Dataset& data, const LbfgsOptions& options) {
+  XPUF_TRACE_SPAN("ml.mlp_fit");
   XPUF_REQUIRE(!data.empty(), "Mlp::fit on empty dataset");
   Objective obj = [this, &data](const linalg::Vector& p, linalg::Vector& g) {
     return loss_and_gradient(data.x, data.y, p, g);
   };
   LbfgsResult res = minimize_lbfgs(obj, params_, options);
   params_ = res.x;
+  auto& registry = MetricsRegistry::global();
+  static Counter& iterations = registry.counter("ml.lbfgs_iterations");
+  static Counter& evaluations = registry.counter("ml.objective_evaluations");
+  iterations.add(res.iterations);
+  evaluations.add(res.evaluations);
   return res;
 }
 
 double Mlp::fit_adam(const Dataset& data, const MlpAdamOptions& options, Rng& rng) {
+  XPUF_TRACE_SPAN("ml.mlp_fit_adam");
   XPUF_REQUIRE(!data.empty(), "Mlp::fit_adam on empty dataset");
   XPUF_REQUIRE(options.batch_size > 0, "Mlp::fit_adam batch size must be positive");
+  static Counter& epochs = MetricsRegistry::global().counter("ml.adam_epochs");
+  epochs.add(options.epochs);
   Adam adam(params_.size(), options.adam);
   std::vector<std::size_t> order(data.size());
   std::iota(order.begin(), order.end(), std::size_t{0});

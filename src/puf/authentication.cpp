@@ -1,6 +1,8 @@
 #include "puf/authentication.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace xpuf::puf {
 
@@ -13,6 +15,7 @@ AuthenticationServer::AuthenticationServer(ServerModel model, std::size_t n_pufs
 }
 
 ChallengeBatch AuthenticationServer::issue(Rng& rng) const {
+  XPUF_TRACE_SPAN("auth.issue");
   ModelBasedSelector selector(model_, n_pufs_);
   SelectionResult sel =
       selector.select(policy_.challenge_count, rng, policy_.max_selection_attempts);
@@ -24,10 +27,14 @@ ChallengeBatch AuthenticationServer::issue(Rng& rng) const {
   ChallengeBatch batch;
   batch.challenges = std::move(sel.challenges);
   batch.expected = std::move(sel.expected_responses);
+  batch.candidates_tried = sel.candidates_tried;
+  static Counter& issued = MetricsRegistry::global().counter("auth.batches_issued");
+  issued.add(1);
   return batch;
 }
 
 ChallengeBatch AuthenticationServer::issue_random(Rng& rng) const {
+  XPUF_TRACE_SPAN("auth.issue_random");
   ChallengeBatch batch;
   batch.challenges.reserve(policy_.challenge_count);
   batch.expected.reserve(policy_.challenge_count);
@@ -36,6 +43,8 @@ ChallengeBatch AuthenticationServer::issue_random(Rng& rng) const {
     batch.expected.push_back(model_.predict_xor(c, n_pufs_));
     batch.challenges.push_back(std::move(c));
   }
+  // Unfiltered issuance tries exactly one candidate per issued challenge.
+  batch.candidates_tried = policy_.challenge_count;
   return batch;
 }
 
@@ -45,9 +54,17 @@ AuthenticationOutcome AuthenticationServer::verify(const ChallengeBatch& batch,
                "response count does not match issued challenge count");
   AuthenticationOutcome out;
   out.challenges_used = batch.challenges.size();
+  out.candidates_tried = batch.candidates_tried;
   for (std::size_t i = 0; i < responses.size(); ++i)
     if (responses[i] != batch.expected[i]) ++out.mismatches;
   out.approved = out.mismatches <= policy_.max_hamming_distance;
+  static Counter& verifications = MetricsRegistry::global().counter("auth.verifications");
+  static Counter& mismatches = MetricsRegistry::global().counter("auth.mismatches");
+  static Counter& approved = MetricsRegistry::global().counter("auth.approved");
+  static Counter& denied = MetricsRegistry::global().counter("auth.denied");
+  verifications.add(1);
+  mismatches.add(out.mismatches);
+  (out.approved ? approved : denied).add(1);
   return out;
 }
 
@@ -55,6 +72,7 @@ AuthenticationOutcome AuthenticationServer::authenticate(const sim::XorPufChip& 
                                                          const sim::Environment& env,
                                                          Rng& rng,
                                                          bool model_selected) const {
+  XPUF_TRACE_SPAN("auth.authenticate");
   const ChallengeBatch batch = model_selected ? issue(rng) : issue_random(rng);
   // One-shot sampling: the selected CRPs are 100% stable, so a single
   // evaluation suffices (paper Sec 2.2). Note the XOR width of the physical

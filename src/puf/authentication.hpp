@@ -37,10 +37,17 @@ struct AuthenticationOutcome {
 };
 
 /// One issued challenge batch with the server's expected responses. The
-/// server keeps `expected`; only `challenges` travel to the device.
+/// server keeps `expected` and the accounting fields; only `challenges`
+/// travel to the device.
 struct ChallengeBatch {
   std::vector<Challenge> challenges;
   std::vector<bool> expected;
+  /// Selector draws consumed to fill this batch (the paper's selection
+  /// cost); carried here so verify()/authenticate() can report it.
+  std::size_t candidates_tried = 0;
+  /// Stable candidates dropped because a replay ledger had already issued
+  /// them (only the ServerDatabase path populates this).
+  std::size_t replay_rejected = 0;
 };
 
 class AuthenticationServer {

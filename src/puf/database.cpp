@@ -4,6 +4,8 @@
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "puf/model_store.hpp"
 
 namespace xpuf::puf {
@@ -49,29 +51,43 @@ const ServerModel& ServerDatabase::model(std::size_t chip_id) const {
 }
 
 ChallengeBatch ServerDatabase::issue(std::size_t chip_id, Rng& rng) {
+  XPUF_TRACE_SPAN("db.issue_batch");
   XPUF_REQUIRE(config_.policy.challenge_count > 0, "an authentication batch cannot be empty");
   const ServerModel& m = model(chip_id);
   std::set<std::string>& ledger = issued_[chip_id];
 
   ChallengeBatch batch;
   ModelBasedSelector selector(m, config_.n_pufs);
-  std::size_t attempts = 0;
   while (batch.challenges.size() < config_.policy.challenge_count) {
     // Select in small gulps so the replay filter can interleave.
     SelectionResult sel = selector.select(config_.policy.challenge_count, rng,
                                           config_.policy.max_selection_attempts);
-    attempts += sel.candidates_tried;
-    if (sel.challenges.empty() || attempts > config_.policy.max_selection_attempts)
+    batch.candidates_tried += sel.candidates_tried;
+    if (sel.challenges.empty() ||
+        batch.candidates_tried > config_.policy.max_selection_attempts)
       throw NumericalError("challenge issuance exhausted its attempt budget");
     for (std::size_t i = 0; i < sel.challenges.size() &&
                             batch.challenges.size() < config_.policy.challenge_count;
          ++i) {
       const std::string key = encode(sel.challenges[i]);
-      if (!ledger.insert(key).second) continue;  // replay-guarded
+      if (!ledger.insert(key).second) {
+        // Replay-guarded: this stable challenge was issued to the device
+        // before (e.g. a reused issuance seed); count the rejection — it is
+        // the chosen-challenge-attack signal the server must observe.
+        ++batch.replay_rejected;
+        continue;
+      }
       batch.challenges.push_back(std::move(sel.challenges[i]));
       batch.expected.push_back(sel.expected_responses[i]);
     }
   }
+  auto& registry = MetricsRegistry::global();
+  static Counter& replay = registry.counter("auth.replay_rejected");
+  static Counter& issued = registry.counter("db.challenges_issued");
+  static Gauge& ledger_size = registry.gauge("db.ledger_size");
+  replay.add(batch.replay_rejected);
+  issued.add(batch.challenges.size());
+  ledger_size.set(static_cast<double>(ledger.size()));
   return batch;
 }
 
@@ -86,10 +102,18 @@ AuthenticationOutcome ServerDatabase::verify(std::size_t chip_id,
 
 DatabaseAuthOutcome ServerDatabase::authenticate(const sim::XorPufChip& chip,
                                                  const sim::Environment& env, Rng& rng) {
+  XPUF_TRACE_SPAN("db.authenticate");
+  static Counter& requests = MetricsRegistry::global().counter("db.auth_requests");
+  static Counter& unknown = MetricsRegistry::global().counter("db.unknown_device");
+  requests.add(1);
   DatabaseAuthOutcome out;
-  if (!knows(chip.id())) return out;  // unknown device: denied by default
+  if (!knows(chip.id())) {  // unknown device: denied by default
+    unknown.add(1);
+    return out;
+  }
   out.known_device = true;
   const ChallengeBatch batch = issue(chip.id(), rng);
+  out.replay_rejected = batch.replay_rejected;
   std::vector<bool> responses;
   responses.reserve(batch.challenges.size());
   for (const auto& c : batch.challenges) responses.push_back(chip.xor_response(c, env, rng));
@@ -104,7 +128,22 @@ std::size_t ServerDatabase::issued_count(std::size_t chip_id) const {
 }
 
 void ServerDatabase::save(const std::string& directory) const {
+  XPUF_TRACE_SPAN("db.save");
   ensure_directory(directory);
+  // Reconcile before writing: a save over an existing directory must not
+  // leave behind device_*/ledger_* files for devices revoked since the last
+  // save — load() would resurrect them. Only our own naming pattern is
+  // touched; unrelated files in the directory survive.
+  namespace fs = std::filesystem;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const bool device_file = name.rfind("device_", 0) == 0;
+    const bool ledger_file = name.rfind("ledger_", 0) == 0;
+    if (device_file || ledger_file) fs::remove(entry.path());
+  }
+  static Gauge& devices = MetricsRegistry::global().gauge("db.devices");
+  devices.set(static_cast<double>(models_.size()));
   for (const auto& [id, m] : models_) {
     save_server_model(m, directory + "/device_" + std::to_string(id) + ".csv");
     CsvWriter ledger(directory + "/ledger_" + std::to_string(id) + ".csv",
@@ -115,6 +154,7 @@ void ServerDatabase::save(const std::string& directory) const {
 }
 
 ServerDatabase ServerDatabase::load(const std::string& directory, DatabaseConfig config) {
+  XPUF_TRACE_SPAN("db.load");
   ServerDatabase db(config);
   namespace fs = std::filesystem;
   XPUF_REQUIRE(fs::is_directory(directory), "database directory does not exist");
@@ -131,6 +171,8 @@ ServerDatabase ServerDatabase::load(const std::string& directory, DatabaseConfig
         if (!row.empty() && !row[0].empty()) db.issued_[id].insert(row[0]);
     }
   }
+  static Gauge& devices = MetricsRegistry::global().gauge("db.devices");
+  devices.set(static_cast<double>(db.models_.size()));
   return db;
 }
 

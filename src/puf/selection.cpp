@@ -1,8 +1,29 @@
 #include "puf/selection.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace xpuf::puf {
+
+namespace {
+
+/// Selection-cost accounting shared by both selector flavors. The
+/// per-batch histogram uses fixed decade bounds so batch-cost shapes are
+/// comparable across runs and XOR widths (the paper's yield collapses
+/// roughly geometrically in n).
+void record_selection(const SelectionResult& result) {
+  auto& registry = MetricsRegistry::global();
+  static Counter& tried = registry.counter("selection.candidates_tried");
+  static Counter& accepted = registry.counter("selection.accepted");
+  static Histogram& per_batch = registry.histogram(
+      "selection.batch_candidates", {10.0, 100.0, 1'000.0, 10'000.0, 100'000.0, 1'000'000.0});
+  tried.add(result.candidates_tried);
+  accepted.add(result.challenges.size());
+  per_batch.observe(static_cast<double>(result.candidates_tried));
+}
+
+}  // namespace
 
 ModelBasedSelector::ModelBasedSelector(const ServerModel& model, std::size_t n_pufs)
     : model_(&model), n_pufs_(n_pufs) {
@@ -15,6 +36,7 @@ ModelBasedSelector::ModelBasedSelector(const ServerModel& model, std::size_t n_p
 // xpuf-lint: allow(require-guard)
 SelectionResult ModelBasedSelector::select(std::size_t count, Rng& rng,
                                            std::size_t max_attempts) const {
+  XPUF_TRACE_SPAN("selection.select");
   SelectionResult result;
   const std::size_t stages = model_->stages();
   while (result.challenges.size() < count && result.candidates_tried < max_attempts) {
@@ -26,6 +48,7 @@ SelectionResult ModelBasedSelector::select(std::size_t count, Rng& rng,
     }
   }
   result.filled = result.challenges.size() >= count;
+  record_selection(result);
   return result;
 }
 
@@ -57,6 +80,7 @@ MeasurementBasedSelector::MeasurementBasedSelector(const sim::XorPufChip& chip,
 // xpuf-lint: allow(require-guard)
 SelectionResult MeasurementBasedSelector::select(std::size_t count, Rng& rng,
                                                  std::size_t max_attempts) const {
+  XPUF_TRACE_SPAN("selection.measure_select");
   SelectionResult result;
   const std::size_t stages = chip_->stages();
   while (result.challenges.size() < count && result.candidates_tried < max_attempts) {
@@ -79,6 +103,7 @@ SelectionResult MeasurementBasedSelector::select(std::size_t count, Rng& rng,
     }
   }
   result.filled = result.challenges.size() >= count;
+  record_selection(result);
   return result;
 }
 

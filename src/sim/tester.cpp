@@ -1,7 +1,9 @@
 #include "sim/tester.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 
 namespace xpuf::sim {
 
@@ -29,6 +31,7 @@ std::vector<Challenge> ChipTester::random_challenges(const XorPufChip& chip,
 
 ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
                                          const std::vector<Challenge>& challenges) {
+  XPUF_TRACE_SPAN("tester.scan_individual");
   for (const auto& c : challenges)
     XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
   ChipSoftScan scan;
@@ -47,6 +50,11 @@ ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
   // flags in a byte buffer and commit serially after the parallel loop.
   std::vector<std::vector<std::uint8_t>> stable_bytes(
       n_pufs, std::vector<std::uint8_t>(n_ch, 0));
+  // Sharded counter: each worker hits its own cache line, so recording from
+  // inside the parallel body is contention-free and the merged total is a
+  // pure function of the workload (never of the thread count).
+  static Counter& measurements =
+      MetricsRegistry::global().counter("tester.measurements");
   parallel_for(n_ch, kScanChunk,
                [&](std::size_t begin, std::size_t end, std::size_t) {
                  for (std::size_t c = begin; c < end; ++c) {
@@ -56,6 +64,7 @@ ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
                          p, challenges[c], env_, trials_, cell_rng);
                      scan.soft[p][c] = m.soft_response();
                      stable_bytes[p][c] = m.fully_stable() ? 1 : 0;
+                     measurements.add(1);
                    }
                  }
                });
@@ -67,6 +76,7 @@ ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
 std::vector<SoftMeasurement> ChipTester::scan_single(const XorPufChip& chip,
                                                      std::size_t puf_index,
                                                      const std::vector<Challenge>& challenges) {
+  XPUF_TRACE_SPAN("tester.scan_single");
   XPUF_REQUIRE(puf_index < chip.puf_count(), "PUF index out of range");
   for (const auto& c : challenges)
     XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
@@ -85,8 +95,11 @@ std::vector<SoftMeasurement> ChipTester::scan_single(const XorPufChip& chip,
 
 std::vector<bool> ChipTester::sample_xor(const XorPufChip& chip,
                                          const std::vector<Challenge>& challenges) {
+  XPUF_TRACE_SPAN("tester.sample_xor");
   for (const auto& c : challenges)
     XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
+  static Counter& samples = MetricsRegistry::global().counter("tester.xor_samples");
+  samples.add(challenges.size());
   const StreamFamily streams(rng_.fork_base());
   std::vector<std::uint8_t> bits(challenges.size(), 0);
   parallel_for(challenges.size(), kScanChunk,
@@ -101,6 +114,7 @@ std::vector<bool> ChipTester::sample_xor(const XorPufChip& chip,
 
 std::vector<SoftMeasurement> ChipTester::scan_xor(const XorPufChip& chip,
                                                   const std::vector<Challenge>& challenges) {
+  XPUF_TRACE_SPAN("tester.scan_xor");
   for (const auto& c : challenges)
     XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
   std::vector<SoftMeasurement> out(challenges.size());

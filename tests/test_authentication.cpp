@@ -57,6 +57,34 @@ TEST_F(AuthenticationTest, GenuineChipPassesAtNominal) {
   EXPECT_EQ(out.challenges_used, 64u);
 }
 
+// Regression (ISSUE 3): issue() used to discard SelectionResult::
+// candidates_tried, so the outcome's documented "selection cost on the
+// server" was always 0. It must be at least one draw per issued challenge
+// and travel batch -> verify -> outcome unchanged.
+TEST_F(AuthenticationTest, SelectionCostIsAccounted) {
+  AuthenticationServer server(model_, 4, {.challenge_count = 32});
+  const ChallengeBatch batch = server.issue(rng_);
+  EXPECT_GE(batch.candidates_tried, 32u);
+
+  std::vector<bool> responses(batch.expected.begin(), batch.expected.end());
+  const AuthenticationOutcome out = server.verify(batch, responses);
+  EXPECT_EQ(out.candidates_tried, batch.candidates_tried);
+
+  const AuthenticationOutcome full =
+      server.authenticate(pop_.chip(0), sim::Environment::nominal(), rng_);
+  EXPECT_GE(full.candidates_tried, full.challenges_used);
+  EXPECT_GT(full.candidates_tried, 0u);
+}
+
+TEST_F(AuthenticationTest, RandomIssuanceCostsOneCandidatePerChallenge) {
+  AuthenticationServer server(model_, 4, {.challenge_count = 16});
+  const ChallengeBatch batch = server.issue_random(rng_);
+  EXPECT_EQ(batch.candidates_tried, 16u);
+  const AuthenticationOutcome out = server.authenticate(
+      pop_.chip(0), sim::Environment::nominal(), rng_, /*model_selected=*/false);
+  EXPECT_EQ(out.candidates_tried, 16u);
+}
+
 TEST_F(AuthenticationTest, GenuineChipPassesAcrossCalibratedCorners) {
   AuthenticationServer server(model_, 4, {.challenge_count = 48});
   for (const auto& env :

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "common/error.hpp"
@@ -107,6 +108,68 @@ TEST_F(DatabaseTest, AuthenticateRoutesByChipId) {
     responses.push_back(pop_.chip(1).xor_response(c, sim::Environment::nominal(), rng_));
   const AuthenticationOutcome fake = db_.verify(0, batch, responses);
   EXPECT_FALSE(fake.approved);
+}
+
+// Regression (ISSUE 3): DatabaseAuthOutcome::replay_rejected was never
+// populated. A second authentication whose issuance RNG is re-seeded
+// identically re-draws the first session's challenges; every one of them is
+// ledger-filtered, must be counted, and the batch must still refill from
+// fresh draws and approve.
+TEST_F(DatabaseTest, ReplayedSessionRejectionsAreCounted) {
+  Rng first_session(777);
+  const DatabaseAuthOutcome first =
+      db_.authenticate(pop_.chip(0), sim::Environment::nominal(), first_session);
+  EXPECT_TRUE(first.outcome.approved);
+  EXPECT_EQ(first.replay_rejected, 0u);
+  EXPECT_GE(first.outcome.candidates_tried, 16u);  // selection cost surfaced
+  EXPECT_EQ(db_.issued_count(0), 16u);
+
+  Rng replayed_session(777);  // identical seed -> identical candidate stream
+  const DatabaseAuthOutcome second =
+      db_.authenticate(pop_.chip(0), sim::Environment::nominal(), replayed_session);
+  EXPECT_TRUE(second.known_device);
+  EXPECT_GE(second.replay_rejected, 16u) << "ledger-filtered candidates went uncounted";
+  EXPECT_TRUE(second.outcome.approved) << "batch must refill past the replays";
+  EXPECT_EQ(db_.issued_count(0), 32u);  // 16 fresh challenges joined the ledger
+}
+
+// Regression (ISSUE 3): save() never deleted stale device_*/ledger_* files,
+// so revoke -> save over an existing directory resurrected the revoked
+// device on load().
+TEST_F(DatabaseTest, RevokeThenSaveDoesNotResurrectOnLoad) {
+  const auto dir = (std::filesystem::temp_directory_path() /
+                    ("xpuf_db_revoke_" + std::to_string(::getpid())))
+                       .string();
+  db_.issue(1, rng_);  // give device 1 a ledger file too
+  db_.save(dir);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/device_1.csv"));
+
+  db_.revoke_device(1);
+  db_.save(dir);  // must reconcile, not accrete
+  EXPECT_FALSE(std::filesystem::exists(dir + "/device_1.csv"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/ledger_1.csv"));
+
+  ServerDatabase loaded = ServerDatabase::load(
+      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}});
+  EXPECT_EQ(loaded.device_count(), 1u);
+  EXPECT_TRUE(loaded.knows(0));
+  EXPECT_FALSE(loaded.knows(1)) << "revoked device resurrected from stale files";
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(DatabaseTest, SavePreservesUnrelatedFiles) {
+  const auto dir = (std::filesystem::temp_directory_path() /
+                    ("xpuf_db_unrelated_" + std::to_string(::getpid())))
+                       .string();
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream note(dir + "/README.txt");
+    note << "operator notes\n";
+  }
+  db_.save(dir);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/README.txt"))
+      << "save() must only reconcile its own device_*/ledger_* naming";
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(DatabaseTest, UnknownDeviceIsDeniedWithoutThrowing) {

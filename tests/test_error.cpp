@@ -106,6 +106,7 @@ TEST(LintRegistry, RegistryListsTheDocumentedRules) {
   EXPECT_TRUE(xpuf::lint::is_known_rule("nondeterminism"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("vector-bool-parallel"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("require-guard"));
+  EXPECT_TRUE(xpuf::lint::is_known_rule("raw-timing"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("narrowing"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("include-order"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("bad-suppression"));

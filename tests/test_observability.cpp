@@ -1,0 +1,204 @@
+// Tests for the observability layer (common/metrics.hpp, common/trace.hpp):
+// sharded counter/histogram merge correctness under parallel_for at 1/2/8
+// threads, snapshot determinism, span call counts, and the end-to-end
+// contract that ServerDatabase counters match AuthenticationOutcome fields.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "common/trace.hpp"
+#include "ml/logistic_regression.hpp"
+#include "puf/database.hpp"
+#include "puf/threshold_adjust.hpp"
+#include "sim/population.hpp"
+
+namespace xpuf {
+namespace {
+
+constexpr std::size_t kThreadGrid[] = {1, 2, 8};
+
+TEST(MetricsCounter, ShardsMergeToExactTotalAtAnyThreadCount) {
+  auto& registry = MetricsRegistry::global();
+  Counter& items = registry.counter("test.items");
+  Counter& weighted = registry.counter("test.weighted");
+  for (const std::size_t threads : kThreadGrid) {
+    ThreadPool::set_global_threads(threads);
+    registry.reset();
+    parallel_for(10'000, 64, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) {
+        items.add(1);
+        weighted.add(i % 3);
+      }
+    });
+    EXPECT_EQ(items.total(), 10'000u) << "threads=" << threads;
+    // sum of i % 3 over [0, 10000): 3333 full cycles of 0+1+2 plus 10000%3=1
+    // leftover item contributing 0.
+    EXPECT_EQ(weighted.total(), 9'999u) << "threads=" << threads;
+  }
+  ThreadPool::set_global_threads(0);
+}
+
+TEST(MetricsHistogram, BucketCountsAreThreadCountInvariant) {
+  auto& registry = MetricsRegistry::global();
+  Histogram& h = registry.histogram("test.hist", {1.0, 3.0, 5.0});
+  for (const std::size_t threads : kThreadGrid) {
+    ThreadPool::set_global_threads(threads);
+    registry.reset();
+    parallel_for(7'000, 64, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) h.observe(static_cast<double>(i % 7));
+    });
+    // i % 7 hits each residue 1000 times. Bucket b counts v <= bound[b]:
+    // <=1 gets {0,1}, <=3 gets {2,3}, <=5 gets {4,5}, overflow gets {6}.
+    const std::vector<std::uint64_t> expected = {2'000, 2'000, 2'000, 1'000};
+    EXPECT_EQ(h.counts(), expected) << "threads=" << threads;
+    EXPECT_EQ(h.total(), 7'000u) << "threads=" << threads;
+  }
+  ThreadPool::set_global_threads(0);
+}
+
+TEST(MetricsHistogram, RejectsUnsortedBoundsAndBoundMismatch) {
+  auto& registry = MetricsRegistry::global();
+  EXPECT_THROW(Histogram({3.0, 1.0}), std::invalid_argument);
+  registry.histogram("test.hist_identity", {1.0, 2.0});
+  EXPECT_NO_THROW(registry.histogram("test.hist_identity", {1.0, 2.0}));
+  EXPECT_THROW(registry.histogram("test.hist_identity", {1.0, 5.0}),
+               std::invalid_argument);
+}
+
+TEST(MetricsGauge, LastWriteWinsAndResets) {
+  auto& registry = MetricsRegistry::global();
+  Gauge& g = registry.gauge("test.gauge");
+  g.set(3.0);
+  g.set(42.5);
+  EXPECT_EQ(g.get(), 42.5);
+  g.reset();
+  EXPECT_EQ(g.get(), 0.0);
+}
+
+TEST(TraceSpans, CallCountsAreDeterministicSecondsNonNegative) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  for (int i = 0; i < 5; ++i) {
+    XPUF_TRACE_SPAN("test.span");
+  }
+  SpanStat& stat = registry.span("test.span");
+  EXPECT_EQ(stat.calls(), 5u);
+  EXPECT_GE(stat.seconds(), 0.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.spans.at("test.span").calls, 5u);
+}
+
+TEST(MetricsSnapshot, TimingFreeSerializationIsDeterministic) {
+  auto& registry = MetricsRegistry::global();
+  auto run_workload = [&](std::size_t threads) {
+    ThreadPool::set_global_threads(threads);
+    registry.reset();
+    Counter& c = registry.counter("test.det_counter");
+    Histogram& h = registry.histogram("test.det_hist", {10.0, 100.0});
+    registry.gauge("test.det_gauge").set(7.0);
+    parallel_for(5'000, 64, [&](std::size_t begin, std::size_t end, std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) {
+        c.add(1);
+        h.observe(static_cast<double>(i % 128));
+        XPUF_TRACE_SPAN("test.det_span");
+      }
+    });
+    return registry.snapshot().to_json("det", 0, /*include_timing=*/false);
+  };
+  const std::string serial = run_workload(1);
+  const std::string threaded = run_workload(8);
+  EXPECT_EQ(serial, threaded)
+      << "timing-free snapshot must be a pure function of the workload";
+  EXPECT_EQ(serial.find("seconds"), std::string::npos);
+  ThreadPool::set_global_threads(0);
+}
+
+TEST(MetricsSnapshot, JsonCarriesAllSections) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  registry.counter("test.json_counter").add(3);
+  registry.gauge("test.json_gauge").set(1.5);
+  registry.histogram("test.json_hist", {2.0}).observe(1.0);
+  { XPUF_TRACE_SPAN("test.json_span"); }
+  const std::string json =
+      registry.snapshot().to_json("unit", 4, /*include_timing=*/true);
+  EXPECT_NE(json.find("\"name\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\": [2]"), std::string::npos);
+  EXPECT_NE(json.find("\"counts\": [1, 0]"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_span\": {\"calls\": 1, \"seconds\": "),
+            std::string::npos);
+}
+
+TEST(MetricsMl, TrainingRecordsIterations) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  ml::Dataset data;
+  // Trivially separable 2-feature problem; L-BFGS needs a few iterations.
+  for (int i = 0; i < 32; ++i) {
+    const double a = (i % 2 == 0) ? 1.0 : -1.0;
+    const double features[2] = {a, 0.5 * a};
+    data.add(features, a > 0 ? 1.0 : 0.0);
+  }
+  ml::LogisticRegression lr;
+  lr.fit(data);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_GT(snap.counters.at("ml.lbfgs_iterations"), 0u);
+  EXPECT_GT(snap.counters.at("ml.objective_evaluations"), 0u);
+  EXPECT_EQ(snap.spans.at("ml.lr_fit").calls, 1u);
+}
+
+// The end-to-end accounting contract: database counters are the SUM of the
+// per-request outcome fields — nothing silently dropped between the
+// selector, the ledger, and the registry.
+TEST(ObservabilityIntegration, DatabaseCountersMatchOutcomeFields) {
+  sim::PopulationConfig cfg;
+  cfg.n_chips = 1;
+  cfg.n_pufs_per_chip = 3;
+  cfg.seed = 5150;
+  sim::ChipPopulation pop(cfg);
+  Rng rng(808);
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 2'000;
+  ecfg.trials = 2'000;
+  puf::ServerModel m = puf::Enroller(ecfg).enroll(pop.chip(0), rng);
+  m.set_betas(puf::BetaFactors{0.85, 1.15});
+  puf::ServerDatabase db(
+      puf::DatabaseConfig{.n_pufs = 3, .policy = {.challenge_count = 16}});
+  db.register_device(std::move(m));
+
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  Rng first_session(777);
+  const puf::DatabaseAuthOutcome first =
+      db.authenticate(pop.chip(0), sim::Environment::nominal(), first_session);
+  Rng replayed_session(777);
+  const puf::DatabaseAuthOutcome second =
+      db.authenticate(pop.chip(0), sim::Environment::nominal(), replayed_session);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("selection.candidates_tried"),
+            first.outcome.candidates_tried + second.outcome.candidates_tried);
+  EXPECT_EQ(snap.counters.at("auth.replay_rejected"),
+            first.replay_rejected + second.replay_rejected);
+  EXPECT_GT(snap.counters.at("auth.replay_rejected"), 0u);
+  EXPECT_EQ(snap.counters.at("db.auth_requests"), 2u);
+  EXPECT_EQ(snap.counters.at("auth.verifications"), 2u);
+  EXPECT_EQ(snap.counters.at("db.challenges_issued"),
+            first.outcome.challenges_used + second.outcome.challenges_used);
+  EXPECT_EQ(snap.gauges.at("db.ledger_size"), 32.0);
+  EXPECT_EQ(snap.counters.at("auth.mismatches"),
+            first.outcome.mismatches + second.outcome.mismatches);
+  EXPECT_EQ(snap.spans.at("db.authenticate").calls, 2u);
+  EXPECT_EQ(snap.spans.at("db.issue_batch").calls, 2u);
+  EXPECT_EQ(snap.spans.at("selection.select").calls,
+            snap.histograms.at("selection.batch_candidates").total);
+}
+
+}  // namespace
+}  // namespace xpuf

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Validates a --metrics-out JSON snapshot (tools/ci.sh `metrics` job).
+
+Checks the structural schema every consumer of the observability layer
+relies on, plus the protocol accounting the paper's Fig 7 flow must never
+silently drop: nonzero selection cost and — when the run exercised the
+replay ledger — nonzero replay rejections.
+
+Usage: check_metrics_schema.py <snapshot.json> [--allow-zero-replay]
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"metrics schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: check_metrics_schema.py <snapshot.json> [--allow-zero-replay]")
+    path = sys.argv[1]
+    allow_zero_replay = "--allow-zero-replay" in sys.argv[2:]
+    try:
+        with open(path, encoding="utf-8") as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+    for key, kind in [("name", str), ("threads", int), ("counters", dict),
+                      ("gauges", dict), ("histograms", dict), ("spans", dict)]:
+        if key not in snap:
+            fail(f"missing top-level key '{key}'")
+        if not isinstance(snap[key], kind):
+            fail(f"'{key}' must be {kind.__name__}, got {type(snap[key]).__name__}")
+
+    for name, value in snap["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"counter '{name}' must be a non-negative integer, got {value!r}")
+    for name, value in snap["gauges"].items():
+        if not isinstance(value, (int, float)):
+            fail(f"gauge '{name}' must be numeric, got {value!r}")
+    for name, h in snap["histograms"].items():
+        if sorted(h) != ["bounds", "counts", "total"]:
+            fail(f"histogram '{name}' must have exactly bounds/counts/total")
+        if len(h["counts"]) != len(h["bounds"]) + 1:
+            fail(f"histogram '{name}': counts must have bounds+1 entries")
+        if h["bounds"] != sorted(h["bounds"]):
+            fail(f"histogram '{name}': bounds must be ascending")
+        if sum(h["counts"]) != h["total"]:
+            fail(f"histogram '{name}': counts sum to {sum(h['counts'])}, total says {h['total']}")
+    for name, s in snap["spans"].items():
+        if "calls" not in s or not isinstance(s["calls"], int) or s["calls"] <= 0:
+            fail(f"span '{name}' must report a positive integer call count")
+        if "seconds" in s and (not isinstance(s["seconds"], (int, float)) or s["seconds"] < 0):
+            fail(f"span '{name}' seconds must be non-negative")
+
+    # Protocol accounting the bugfixes restored (ISSUE 3): selection cost and
+    # replay rejections must be visible, not silently zero.
+    tried = snap["counters"].get("selection.candidates_tried", 0)
+    if tried <= 0:
+        fail("counter 'selection.candidates_tried' absent or zero — selection cost lost")
+    replay = snap["counters"].get("auth.replay_rejected")
+    if replay is None:
+        fail("counter 'auth.replay_rejected' absent — replay accounting lost")
+    if replay <= 0 and not allow_zero_replay:
+        fail("counter 'auth.replay_rejected' is zero but the run replays a session")
+    if not snap["spans"]:
+        fail("no spans recorded — TraceSpan instrumentation missing")
+
+    print(f"metrics schema: OK ({path}: {len(snap['counters'])} counters, "
+          f"{len(snap['spans'])} spans, selection.candidates_tried={tried}, "
+          f"auth.replay_rejected={replay})")
+
+
+if __name__ == "__main__":
+    main()

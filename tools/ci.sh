@@ -3,6 +3,10 @@
 #
 #   release   Release, -DXPUF_WERROR=ON, full ctest (incl. `-L lint`:
 #             xpuf_lint over the tree + .clang-tidy validation)
+#   metrics   one bench run with --metrics-out, then a JSON schema check of
+#             the snapshot (tools/check_metrics_schema.py): counters/gauges/
+#             histograms/spans shape, nonzero selection cost, nonzero replay
+#             rejections from the re-seeded second authentication
 #   asan      ASan+UBSan RelWithDebInfo, full test suite
 #   tsan      TSan RelWithDebInfo, parallel-layer tests
 #             (tests/test_parallel.cpp hammers the pool with 1/2/8-lane
@@ -68,7 +72,19 @@ tsan_job() {
     "${prefix}-tsan/tests/test_parallel"
 }
 
+metrics_job() {
+  "${prefix}/bench/bench_tabB_authentication" \
+    --challenges 4000 --trials 1000 --chips 1 \
+    --metrics-out "${logdir}/tabB_metrics.json" &&
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/check_metrics_schema.py "${logdir}/tabB_metrics.json"
+    else
+      echo "python3 absent; schema check skipped (snapshot at ${logdir}/tabB_metrics.json)"
+    fi
+}
+
 run_job release release_job
+run_job metrics metrics_job
 run_job asan asan_job
 run_job tsan tsan_job
 run_job tidy ./tools/tidy.sh "${prefix}-tidy"

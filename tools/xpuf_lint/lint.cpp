@@ -25,6 +25,9 @@ const std::vector<RuleInfo> kRules = {
     {"require-guard",
      "public puf//sim/ entry point takes container/dimension parameters but never checks "
      "XPUF_REQUIRE"},
+    {"raw-timing",
+     "raw std::chrono::steady_clock outside common/timer.hpp / common/trace.cpp; time "
+     "through Timer/TraceSpan so wall-clock stays out of measurement paths"},
     {"narrowing",
      "double literal narrowed to float, or C-style arithmetic cast; use an f suffix / "
      "static_cast"},
@@ -521,6 +524,17 @@ std::vector<Violation> lint_source(const std::string& rel_path, const std::strin
       if (!is_raw_rng && rel_path == "src/common/rng.cpp") continue;
       if (std::regex_search(code_lines[i], pr.pattern)) report(pr.rule, i, pr.message);
     }
+  }
+
+  // raw-timing: clock reads live only in the sanctioned timing layer (the
+  // Timer stopwatch and the TraceSpan recorder); everywhere else wall-clock
+  // flows through those types so it can never leak into results.
+  if (rel_path != "src/common/timer.hpp" && rel_path != "src/common/trace.cpp") {
+    static const std::regex steady(R"(\bstd::chrono::steady_clock\b)");
+    for (std::size_t i = 0; i < code_lines.size(); ++i)
+      if (std::regex_search(code_lines[i], steady))
+        report("raw-timing", i,
+               "raw steady_clock read; use xpuf::Timer or XPUF_TRACE_SPAN instead");
   }
 
   // narrowing.

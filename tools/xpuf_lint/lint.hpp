@@ -24,6 +24,9 @@
 //   require-guard        public function definitions in src/puf//src/sim/
 //                        .cpp files taking container/dimension parameters
 //                        whose body never checks XPUF_REQUIRE
+//   raw-timing           std::chrono::steady_clock outside
+//                        src/common/timer.hpp and src/common/trace.cpp —
+//                        wall-clock reads flow through Timer / TraceSpan
 //   narrowing            double literal initializing a float without an f
 //                        suffix, and C-style arithmetic casts (use
 //                        static_cast)
