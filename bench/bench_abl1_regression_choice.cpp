@@ -17,10 +17,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Ablation 1: linear-on-soft vs logistic-on-hard enrollment", scale);
-  benchutil::BenchTimer timing("abl1_regression_choice", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "abl1_regression_choice",
+                                "Ablation 1: linear-on-soft vs logistic-on-hard enrollment");
+  const BenchScale& scale = bench.scale();
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

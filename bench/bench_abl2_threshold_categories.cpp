@@ -13,11 +13,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Ablation 2: three-category thresholds vs binary 0.5 threshold",
-                    scale);
-  benchutil::BenchTimer timing("abl2_threshold_categories", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "abl2_threshold_categories",
+                                "Ablation 2: three-category thresholds vs binary 0.5 threshold");
+  const BenchScale& scale = bench.scale();
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

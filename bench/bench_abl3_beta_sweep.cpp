@@ -12,11 +12,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Ablation 3: yield vs residual instability over the beta grid",
-                    scale);
-  benchutil::BenchTimer timing("abl3_beta_sweep", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "abl3_beta_sweep",
+                                "Ablation 3: yield vs residual instability over the beta grid");
+  const BenchScale& scale = bench.scale();
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

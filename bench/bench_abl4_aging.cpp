@@ -14,11 +14,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Ablation 4: stable-CRP survival and zero-HD auth under aging",
-                    scale);
-  benchutil::BenchTimer timing("abl4_aging", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "abl4_aging",
+                                "Ablation 4: stable-CRP survival and zero-HD auth under aging");
+  const BenchScale& scale = bench.scale();
 
   const std::size_t n_pufs = 10;
   sim::PopulationConfig pcfg = benchutil::population_config(scale, n_pufs);

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -127,6 +129,51 @@ class MetricsReport {
   std::string name_;
   std::string json_path_;
   bool table_;
+};
+
+/// The preamble every bench main used to open with — CLI parsing, scale
+/// resolution, the banner, the timing artifact and the --metrics /
+/// --metrics-out report — hoisted into one object so the conventions stay
+/// uniform across benches. Construct it first in main():
+///
+///   benchutil::BenchHarness bench(argc, argv, "fig02_soft_response",
+///                                 "Fig 2: soft-response distribution");
+///   const BenchScale& scale = bench.scale();
+///
+/// Artifacts: bench_out/<name>_timing.json always; the metrics snapshot and
+/// table only when the flags ask for them. Item counts default to
+/// scale().challenges; benches with a different unit of work call
+/// set_items() once they know it.
+class BenchHarness {
+ public:
+  /// `adjust` runs after scale resolution but before the banner sizes the
+  /// thread pool, for benches that override scale defaults.
+  BenchHarness(int argc, char** argv, std::string name,
+               const std::string& title,
+               const std::function<void(const Cli&, BenchScale&)>& adjust = {})
+      : cli_(argc, argv), scale_(resolve_scale(cli_)), name_(std::move(name)) {
+    if (adjust) adjust(cli_, scale_);
+    banner(title, scale_);
+    timer_.emplace(name_, scale_.challenges);
+    metrics_.emplace(cli_, name_);
+  }
+
+  BenchHarness(const BenchHarness&) = delete;
+  BenchHarness& operator=(const BenchHarness&) = delete;
+
+  const Cli& cli() const { return cli_; }
+  const BenchScale& scale() const { return scale_; }
+  void set_items(std::uint64_t items) { timer_->set_items(items); }
+
+ private:
+  Cli cli_;
+  BenchScale scale_;
+  std::string name_;
+  // Declaration order fixes artifact order at exit: the metrics report
+  // (destroyed first) prints before the timing line, as the benches always
+  // have.
+  std::optional<BenchTimer> timer_;
+  std::optional<MetricsReport> metrics_;
 };
 
 }  // namespace xpuf::benchutil

@@ -17,11 +17,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Ext 1: noise-bifurcation tradeoff (attack hardness vs criterion)",
-                    scale);
-  benchutil::BenchTimer timing("ext1_noise_bifurcation", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "ext1_noise_bifurcation",
+                                "Ext 1: noise-bifurcation tradeoff (attack hardness vs criterion)");
+  const BenchScale& scale = bench.scale();
 
   const std::size_t n_pufs = 2;  // small XOR width so the baseline attack succeeds
   sim::ChipPopulation pop(benchutil::population_config(scale, n_pufs));

@@ -25,11 +25,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Ext 2: reliability attack (Becker [9]) vs stable-only transcripts",
-                    scale);
-  benchutil::BenchTimer timing("ext2_reliability_attack", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "ext2_reliability_attack",
+                                "Ext 2: reliability attack (Becker [9]) vs stable-only transcripts");
+  const BenchScale& scale = bench.scale();
 
   Table t("Reliability CMA-ES attack outcome per XOR width "
           "(free queries vs stable-only protocol transcripts)");

@@ -17,10 +17,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Ext 3: fuzzy-extractor code budget vs challenge selection", scale);
-  benchutil::BenchTimer timing("ext3_key_generation", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "ext3_key_generation",
+                                "Ext 3: fuzzy-extractor code budget vs challenge selection");
+  const BenchScale& scale = bench.scale();
 
   const std::size_t n_pufs = 10;
   sim::PopulationConfig pcfg = benchutil::population_config(scale, n_pufs);

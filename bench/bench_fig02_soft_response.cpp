@@ -11,10 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Fig 2: soft-response distribution, single MUX PUF, 0.9V/25C", scale);
-  benchutil::BenchTimer timing("fig02_soft_response", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "fig02_soft_response",
+                                "Fig 2: soft-response distribution, single MUX PUF, 0.9V/25C");
+  const BenchScale& scale = bench.scale();
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

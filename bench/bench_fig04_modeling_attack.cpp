@@ -16,11 +16,10 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Fig 4: MLP attack accuracy vs training size and n", scale);
-  benchutil::BenchTimer timing("fig04_modeling_attack", scale.attack_max_train);
-  benchutil::MetricsReport metrics(cli, "fig04_modeling_attack");
+  benchutil::BenchHarness bench(argc, argv, "fig04_modeling_attack",
+                                "Fig 4: MLP attack accuracy vs training size and n");
+  const BenchScale& scale = bench.scale();
+  bench.set_items(scale.attack_max_train);
 
   std::vector<std::size_t> widths;
   std::vector<std::size_t> train_sizes;
@@ -94,7 +93,7 @@ int main(int argc, char** argv) {
     t.add_row(row);
   }
   t.print();
-  timing.set_items(static_cast<std::uint64_t>(total_crps));
+  bench.set_items(static_cast<std::uint64_t>(total_crps));
   if (total_crps > 0.0)
     std::printf("\naverage training speed: %.3f ms per CRP (paper: 0.395 ms/CRP)\n",
                 total_ms / total_crps);

@@ -15,16 +15,14 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Fig 8: measured vs model-predicted soft response, 5,000 CRPs",
-                    scale);
-  benchutil::BenchTimer timing("fig08_threshold_extraction", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "fig08_threshold_extraction",
+                                "Fig 8: measured vs model-predicted soft response, 5,000 CRPs");
+  const BenchScale& scale = bench.scale();
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();
 
-  const std::size_t train_n = static_cast<std::size_t>(cli.get_int("train", 5'000));
+  const std::size_t train_n = static_cast<std::size_t>(bench.cli().get_int("train", 5'000));
   sim::ChipTester tester(sim::Environment::nominal(), scale.trials, rng.fork());
   const auto challenges = tester.random_challenges(pop.chip(0), train_n);
   const auto scan = tester.scan_individual(pop.chip(0), challenges);

@@ -12,10 +12,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Fig 9: beta threshold scaling at nominal corner", scale);
-  benchutil::BenchTimer timing("fig09_beta_nominal", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "fig09_beta_nominal",
+                                "Fig 9: beta threshold scaling at nominal corner");
+  const BenchScale& scale = bench.scale();
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

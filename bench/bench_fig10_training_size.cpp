@@ -12,10 +12,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Fig 10: stable-CRP probability vs training-set size", scale);
-  benchutil::BenchTimer timing("fig10_training_size", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "fig10_training_size",
+                                "Fig 10: stable-CRP probability vs training-set size");
+  const BenchScale& scale = bench.scale();
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

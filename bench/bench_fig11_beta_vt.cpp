@@ -13,10 +13,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Fig 11: beta adjustment across the 9-corner V/T grid", scale);
-  benchutil::BenchTimer timing("fig11_beta_vt", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "fig11_beta_vt",
+                                "Fig 11: beta adjustment across the 9-corner V/T grid");
+  const BenchScale& scale = bench.scale();
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

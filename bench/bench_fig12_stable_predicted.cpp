@@ -15,10 +15,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Fig 12: stable-CRP probability vs n under three regimes", scale);
-  benchutil::BenchTimer timing("fig12_stable_predicted", scale.challenges);
+  benchutil::BenchHarness bench(argc, argv, "fig12_stable_predicted",
+                                "Fig 12: stable-CRP probability vs n under three regimes");
+  const BenchScale& scale = bench.scale();
 
   sim::ChipPopulation pop(benchutil::population_config(scale));
   Rng rng = pop.measurement_rng();

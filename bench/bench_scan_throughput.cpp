@@ -17,16 +17,17 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  BenchScale scale = resolve_scale(cli);
   // The acceptance workload: 100k challenges x 4 PUFs at a modest trial
   // count keeps the run minutes-scale while still dominated by the
   // binomial counter sampling the scan parallelizes over.
-  const auto n_pufs = static_cast<std::size_t>(cli.get_int("pufs", 4));
-  if (!cli.has("trials") && !scale.full) scale.trials = 1'000;
-  benchutil::banner("Scan throughput: parallel scan_individual", scale);
-  benchutil::BenchTimer timing("scan_throughput", scale.challenges * n_pufs);
-  benchutil::MetricsReport metrics(cli, "scan_throughput");
+  benchutil::BenchHarness bench(
+      argc, argv, "scan_throughput", "Scan throughput: parallel scan_individual",
+      [](const Cli& cli, BenchScale& s) {
+        if (!cli.has("trials") && !s.full) s.trials = 1'000;
+      });
+  const BenchScale& scale = bench.scale();
+  const auto n_pufs = static_cast<std::size_t>(bench.cli().get_int("pufs", 4));
+  bench.set_items(scale.challenges * n_pufs);
 
   sim::ChipPopulation pop(benchutil::population_config(scale, n_pufs));
   Rng rng = pop.measurement_rng();

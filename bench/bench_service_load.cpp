@@ -1,0 +1,146 @@
+// Service load: closed-loop multi-client authentication over a faulty wire.
+//
+// A fleet of simulated devices is enrolled in parallel (stream-keyed, so the
+// models are independent of the thread count), provisioned into a sharded
+// ServiceEngine, and driven through enroll -> authenticate (-> revoke)
+// session plans over FaultyTransport pairs injecting drops, duplicates,
+// reorders, truncations and bit-flips. The bench is an end-to-end
+// accounting audit as much as a load generator: it fails (non-zero exit)
+// unless every session lands in exactly one terminal state, the frame
+// conservation invariants hold, and the global net.* counters reconcile
+// with the per-session outcome ledgers — zero drift, at any --threads.
+//
+// Artifacts: bench_out/service_load_timing.json (items = frames sent) and,
+// with --metrics-out, the net.* counter snapshot the schema checker
+// validates (tools/check_metrics_schema.py --expect-net).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/service.hpp"
+#include "puf/enrollment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xpuf;
+  benchutil::BenchHarness bench(argc, argv, "service_load",
+                                "Service load: fleet auth over a faulty wire");
+  const BenchScale& scale = bench.scale();
+  MetricsRegistry::global().reset();
+
+  const auto devices = static_cast<std::size_t>(
+      bench.cli().get_int("devices", scale.full ? 256 : 24));
+  const auto auth_sessions = static_cast<std::uint32_t>(
+      bench.cli().get_int("sessions", 3));
+  // Per-band fault probability; five bands, so the default injects ~5% of
+  // frames with exactly one fault each (>= the 1% acceptance floor).
+  const double fault_rate = bench.cli().get_double("fault-rate", 0.01);
+
+  net::ServiceConfig config;
+  config.seed = 7411;
+  config.database.n_pufs = 4;
+  config.database.policy.challenge_count = 16;
+  config.faults = net::FaultProfile::uniform(fault_rate);
+  config.max_rounds = 8192;
+
+  // One fab lot for the whole fleet; 4-PUF chips keep enrollment and
+  // challenge selection minutes-scale at the full device count.
+  sim::PopulationConfig pop_cfg;
+  pop_cfg.n_chips = devices;
+  pop_cfg.n_pufs_per_chip = config.database.n_pufs;
+  pop_cfg.seed = 40917;
+  sim::ChipPopulation pop(pop_cfg);
+
+  puf::EnrollmentConfig enroll_cfg;
+  enroll_cfg.training_challenges = 1200;
+  enroll_cfg.trials = 2000;
+  const puf::Enroller enroller(enroll_cfg);
+  const puf::BetaFactors betas{0.9, 1.1};
+
+  // Parallel enrollment: chunk ownership over disjoint vector slots, one
+  // private RNG stream per device — bit-identical at any thread count.
+  std::printf("enrolling %zu devices (%zu-PUF chips, %zu training CRPs)...\n",
+              devices, pop_cfg.n_pufs_per_chip, enroll_cfg.training_challenges);
+  const StreamFamily enroll_family(Rng(9406).fork_base());
+  std::vector<puf::ServerModel> models(devices);
+  parallel_for(devices, 1,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   Rng rng = enroll_family.stream(i);
+                   models[i] = enroller.enroll(pop.chip(i), rng);
+                   models[i].set_betas(betas);
+                 }
+               });
+
+  net::ServiceEngine engine(config);
+  for (std::size_t i = 0; i < devices; ++i) {
+    // Every 4th device also exercises the revocation path.
+    engine.provision(pop.chip(i), std::move(models[i]),
+                     sim::Environment::nominal(), auth_sessions,
+                     /*enroll_first=*/true, /*revoke_at_end=*/i % 4 == 3);
+  }
+
+  const net::ServiceReport report = engine.run();
+  bench.set_items(report.frames_sent);
+
+  std::printf("\nrounds=%u devices=%llu sessions=%llu\n", report.rounds,
+              static_cast<unsigned long long>(report.devices),
+              static_cast<unsigned long long>(report.sessions_total));
+  std::printf("terminals: approved=%llu denied=%llu rejected=%llu failed=%llu "
+              "(retries=%llu expired=%llu nacks=%llu revocations=%llu)\n",
+              static_cast<unsigned long long>(report.approved),
+              static_cast<unsigned long long>(report.denied),
+              static_cast<unsigned long long>(report.rejected),
+              static_cast<unsigned long long>(report.failed),
+              static_cast<unsigned long long>(report.retries),
+              static_cast<unsigned long long>(report.sessions_expired),
+              static_cast<unsigned long long>(report.nacks_sent),
+              static_cast<unsigned long long>(report.revocations));
+  std::printf("wire: sent=%llu delivered=%llu corrupt=%llu | faults: "
+              "drop=%llu dup=%llu reorder=%llu trunc=%llu flip=%llu\n",
+              static_cast<unsigned long long>(report.frames_sent),
+              static_cast<unsigned long long>(report.frames_delivered),
+              static_cast<unsigned long long>(report.frames_corrupt),
+              static_cast<unsigned long long>(report.faults.dropped),
+              static_cast<unsigned long long>(report.faults.duplicated),
+              static_cast<unsigned long long>(report.faults.reordered),
+              static_cast<unsigned long long>(report.faults.truncated),
+              static_cast<unsigned long long>(report.faults.bitflipped));
+  std::printf("fingerprint: %016llx\n",
+              static_cast<unsigned long long>(report.fingerprint));
+
+  // --- zero-drift audit -----------------------------------------------------
+  std::vector<std::string> drift = report.violations;
+  auto& reg = MetricsRegistry::global();
+  const auto expect = [&](const char* counter, std::uint64_t ledger) {
+    const std::uint64_t value = reg.counter(counter).total();
+    if (value != ledger)
+      drift.push_back(std::string(counter) + ": counter=" +
+                      std::to_string(value) + " ledger=" +
+                      std::to_string(ledger));
+  };
+  expect("net.session_approved", report.approved);
+  expect("net.session_denied", report.denied);
+  expect("net.session_rejected", report.rejected);
+  expect("net.session_failed", report.failed);
+  expect("net.sessions_opened", report.sessions_total);
+  expect("net.retries", report.retries);
+  expect("net.frames_sent", report.frames_sent);
+  expect("net.frames_delivered", report.frames_delivered);
+  expect("net.frames_corrupt", report.frames_corrupt);
+  expect("net.frames_dropped", report.faults.dropped);
+  expect("net.frames_duplicated", report.faults.duplicated);
+  expect("net.frames_reordered", report.faults.reordered);
+  expect("net.frames_truncated", report.faults.truncated);
+  expect("net.frames_bitflipped", report.faults.bitflipped);
+  if (fault_rate > 0.0 && report.faults.faults() * 100 < report.faults.sent)
+    drift.push_back("injected fault fraction fell below the 1% floor");
+
+  if (!drift.empty()) {
+    std::printf("\nACCOUNTING DRIFT (%zu):\n", drift.size());
+    for (const auto& v : drift) std::printf("  %s\n", v.c_str());
+    return 1;
+  }
+  std::printf("\nzero accounting drift: every session terminal, counters "
+              "reconcile with ledgers\n");
+  return 0;
+}

@@ -13,11 +13,9 @@
 
 int main(int argc, char** argv) {
   using namespace xpuf;
-  const Cli cli(argc, argv);
-  const BenchScale scale = resolve_scale(cli);
-  benchutil::banner("Tab B: zero-HD authentication across V/T corners", scale);
-  benchutil::BenchTimer timing("tabB_authentication", scale.challenges);
-  benchutil::MetricsReport metrics(cli, "tabB_authentication");
+  benchutil::BenchHarness bench(argc, argv, "tabB_authentication",
+                                "Tab B: zero-HD authentication across V/T corners");
+  const BenchScale& scale = bench.scale();
 
   const std::size_t n_pufs = 10;
   sim::ChipPopulation pop(benchutil::population_config(scale, n_pufs));

@@ -1,0 +1,114 @@
+// Device-side protocol driver of the authentication service.
+//
+// A DeviceClient executes a scripted plan of sessions — one optional
+// ENROLL_BEGIN activation, N AUTH_BEGIN authentications, an optional final
+// REVOKE — over an unreliable transport. Each session is a tiny state
+// machine (see DESIGN.md for the diagram):
+//
+//   IDLE --begin--> AWAIT_CHALLENGE --batch/measure--> AWAIT_RESULT
+//        --result--> APPROVED | DENIED
+//        --terminal NACK--> REJECTED
+//        --retry budget exhausted--> FAILED
+//
+// Loss recovery is retransmission with exponential backoff measured in
+// engine rounds (the deterministic clock of the in-process service), bounded
+// by ClientPolicy::max_retries; responses for a challenge batch are measured
+// once and the encoded payload is cached, so a retransmitted RESPONSE_SUBMIT
+// carries bit-identical responses. Every session ends in exactly ONE
+// terminal phase — the accounting invariant the service bench reconciles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/chip.hpp"
+#include "sim/environment.hpp"
+
+namespace xpuf::net {
+
+enum class SessionPhase : std::uint8_t {
+  kIdle = 0,
+  kAwaitChallenge,
+  kAwaitResult,
+  // Terminal phases — exactly one per session.
+  kApproved,
+  kDenied,
+  kRejected,  ///< server sent a terminal NACK
+  kFailed,    ///< retry budget exhausted (transport-level failure)
+};
+
+bool is_terminal(SessionPhase phase);
+const char* to_string(SessionPhase phase);
+
+struct ClientPolicy {
+  std::uint32_t timeout_rounds = 4;  ///< first await window; doubles per retry
+  std::uint32_t max_retries = 6;     ///< retransmissions per session
+};
+
+/// Outcome ledger entry for one completed session.
+struct SessionRecord {
+  std::uint32_t session_id = 0;
+  FrameType opened_with = FrameType::kAuthBegin;
+  SessionPhase terminal = SessionPhase::kIdle;
+  std::uint32_t retries = 0;
+  std::uint32_t mismatches = 0;
+  std::uint32_t challenges_used = 0;
+};
+
+class DeviceClient {
+ public:
+  /// `rng` is this connection's private stream (measurement noise draws);
+  /// `to_server`/`from_server` are the two transport directions, typically
+  /// FaultyTransport decorations of a PipeTransport pair.
+  DeviceClient(const sim::XorPufChip& chip, sim::Environment env, Rng rng,
+               Transport& to_server, Transport& from_server,
+               std::uint32_t auth_sessions, ClientPolicy policy = {},
+               bool enroll_first = true, bool revoke_at_end = false);
+
+  /// One engine round: drain the inbox, advance the state machine, open the
+  /// next scripted session or retransmit on timeout.
+  void step(std::uint32_t round);
+
+  /// True once every scripted session reached a terminal phase.
+  bool finished() const { return plan_index_ >= plan_.size(); }
+
+  std::uint64_t device_id() const;
+  SessionPhase phase() const { return phase_; }
+  const std::vector<SessionRecord>& records() const { return records_; }
+  const ChannelStats& channel_stats() const { return stats_; }
+
+ private:
+  void open_next_session(std::uint32_t round);
+  void handle(const Frame& frame, std::uint32_t round);
+  void on_deadline(std::uint32_t round);
+  void transmit(std::uint32_t round);
+  void finish_session(SessionPhase terminal);
+  void arm_deadline(std::uint32_t round, std::uint32_t wait);
+
+  const sim::XorPufChip* chip_;
+  sim::Environment env_;
+  Rng rng_;
+  Transport* tx_;
+  Transport* rx_;
+  ClientPolicy policy_;
+
+  std::vector<FrameType> plan_;
+  std::size_t plan_index_ = 0;
+  std::vector<SessionRecord> records_;
+
+  SessionPhase phase_ = SessionPhase::kIdle;
+  SessionRecord current_;
+  std::uint32_t session_counter_ = 0;
+  std::uint32_t seq_ = 0;            ///< per-connection transmission counter
+  std::uint32_t deadline_round_ = 0;
+  std::uint32_t timeout_cur_ = 0;
+  /// Encoded payload of the frame a deadline retransmits (begin frames are
+  /// empty; RESPONSE_SUBMIT carries the cached measured bits).
+  FrameType pending_type_ = FrameType::kAuthBegin;
+  std::vector<std::uint8_t> pending_payload_;
+
+  ChannelStats stats_;
+};
+
+}  // namespace xpuf::net

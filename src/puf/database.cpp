@@ -54,7 +54,12 @@ ChallengeBatch ServerDatabase::issue(std::size_t chip_id, Rng& rng) {
   XPUF_TRACE_SPAN("db.issue_batch");
   XPUF_REQUIRE(config_.policy.challenge_count > 0, "an authentication batch cannot be empty");
   const ServerModel& m = model(chip_id);
-  std::set<std::string>& ledger = issued_[chip_id];
+  // Find-based on purpose: issue() must never mutate the outer map, so
+  // concurrent calls for DISTINCT pre-registered devices touch disjoint
+  // ledgers (see the concurrency contract in database.hpp).
+  const auto ledger_it = issued_.find(chip_id);
+  XPUF_REQUIRE(ledger_it != issued_.end(), "unknown device id");
+  std::set<std::string>& ledger = ledger_it->second;
 
   ChallengeBatch batch;
   ModelBasedSelector selector(m, config_.n_pufs);

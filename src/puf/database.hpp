@@ -7,6 +7,17 @@
 // policy, challenge-replay protection (a challenge is never reused for a
 // device — otherwise an eavesdropper could replay recorded responses), and
 // persistence of the whole registry to a directory of model files.
+//
+// Concurrency contract: issue(), verify(), authenticate() and the const
+// accessors are safe to call concurrently for DISTINCT pre-registered
+// devices — they never mutate the registry maps themselves, only the
+// per-device ledger set the caller's device owns (std::map lookups tolerate
+// concurrent readers, and disjoint mapped values may be mutated in
+// parallel). register_device(), revoke_device(), save() and load() mutate
+// the maps and require exclusive access; the net/ ServiceEngine satisfies
+// this by giving each shard its own ServerDatabase and keeping all calls on
+// the owning shard lane. tests/test_observability.cpp exercises the
+// concurrent half of the contract under TSan.
 #pragma once
 
 #include <cstdint>

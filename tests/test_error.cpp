@@ -109,6 +109,7 @@ TEST(LintRegistry, RegistryListsTheDocumentedRules) {
   EXPECT_TRUE(xpuf::lint::is_known_rule("raw-timing"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("narrowing"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("include-order"));
+  EXPECT_TRUE(xpuf::lint::is_known_rule("wire-portability"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("bad-suppression"));
   EXPECT_FALSE(xpuf::lint::is_known_rule("no-such-rule"));
 }
@@ -266,6 +267,40 @@ TEST(LintSource, HeaderWithoutPragmaOnceIsFlagged) {
   EXPECT_TRUE(has_rule(lint_str("src/puf/demo.hpp", "int f();\n"), "include-order"));
   EXPECT_FALSE(
       has_rule(lint_str("src/puf/demo.hpp", "#pragma once\nint f();\n"), "include-order"));
+}
+
+TEST(LintSource, WirePortabilityFlagsMemcpyInTheWireCodec) {
+  const std::string src =
+      "#pragma once\n"
+      "void pack(Header h, std::uint8_t* out) { std::memcpy(out, &h, 24); }\n";
+  EXPECT_TRUE(has_rule(lint_str("src/net/wire.hpp", src), "wire-portability"));
+  // The rule is scoped to the wire codec; the same code elsewhere is legal.
+  EXPECT_FALSE(has_rule(lint_str("src/net/transport.cpp", src), "wire-portability"));
+}
+
+TEST(LintSource, WirePortabilityFlagsTypePunning) {
+  EXPECT_TRUE(has_rule(
+      lint_str("src/net/wire.cpp",
+               "std::uint32_t peek(const std::uint8_t* p) {\n"
+               "  return *reinterpret_cast<const std::uint32_t*>(p);\n"
+               "}\n"),
+      "wire-portability"));
+  EXPECT_TRUE(has_rule(lint_str("src/net/wire.cpp",
+                                "auto bits = std::bit_cast<std::uint32_t>(x);\n"),
+                       "wire-portability"));
+}
+
+TEST(LintSource, WirePortabilityFlagsPlatformWidthIntegers) {
+  EXPECT_TRUE(has_rule(
+      lint_str("src/net/wire.cpp", "unsigned seq = 0;\n"), "wire-portability"));
+  EXPECT_TRUE(has_rule(
+      lint_str("src/net/wire.cpp", "std::size_t n = payload.size();\n"),
+      "wire-portability"));
+  // Fixed-width fields and comments mentioning the tokens are clean.
+  EXPECT_FALSE(has_rule(
+      lint_str("src/net/wire.cpp",
+               "// never use int or size_t here\nstd::uint32_t seq = 0;\n"),
+      "wire-portability"));
 }
 
 TEST(LintTidyConfig, MissingFileIsAViolation) {

@@ -6,7 +6,12 @@ relies on, plus the protocol accounting the paper's Fig 7 flow must never
 silently drop: nonzero selection cost and — when the run exercised the
 replay ledger — nonzero replay rejections.
 
-Usage: check_metrics_schema.py <snapshot.json> [--allow-zero-replay]
+With --expect-net the snapshot must additionally carry the service-layer
+net.* counters (tools/ci.sh `service` job, fed by bench_service_load) and
+they must satisfy the frame-conservation and session-partition relations
+the ServiceEngine reconciles.
+
+Usage: check_metrics_schema.py <snapshot.json> [--allow-zero-replay] [--expect-net]
 """
 import json
 import sys
@@ -17,11 +22,52 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def check_net_counters(counters: dict) -> str:
+    """Validates the service-layer counters; returns a one-line summary."""
+    required = [
+        "net.frames_sent", "net.frames_delivered", "net.frames_corrupt",
+        "net.frames_dropped", "net.frames_duplicated", "net.frames_truncated",
+        "net.frames_bitflipped", "net.sessions_opened", "net.session_approved",
+        "net.session_denied", "net.session_rejected", "net.session_failed",
+        "net.retries",
+    ]
+    for name in required:
+        if name not in counters:
+            fail(f"--expect-net: counter '{name}' absent")
+    c = counters
+    if c["net.frames_sent"] <= 0:
+        fail("--expect-net: 'net.frames_sent' is zero — no traffic recorded")
+    # Endpoint counts can only lose frames to the wire, never invent them
+    # (corrupt frames are a subset of delivered: they arrive, then fail to
+    # decode).
+    if c["net.frames_delivered"] > c["net.frames_sent"] + c["net.frames_duplicated"]:
+        fail("--expect-net: more frames arrived than were sent (+duplicated)")
+    if c["net.frames_corrupt"] > c["net.frames_delivered"]:
+        fail("--expect-net: frames_corrupt exceeds frames_delivered")
+    # Corruption has exactly two injection sources.
+    if c["net.frames_corrupt"] != c["net.frames_truncated"] + c["net.frames_bitflipped"]:
+        fail("--expect-net: frames_corrupt != frames_truncated + frames_bitflipped")
+    # Terminal states partition the opened sessions.
+    terminals = (c["net.session_approved"] + c["net.session_denied"] +
+                 c["net.session_rejected"] + c["net.session_failed"])
+    if terminals != c["net.sessions_opened"]:
+        fail(f"--expect-net: {terminals} terminal sessions but "
+             f"{c['net.sessions_opened']} opened — not a partition")
+    return (f"net: frames_sent={c['net.frames_sent']} "
+            f"corrupt={c['net.frames_corrupt']} retries={c['net.retries']} "
+            f"sessions={c['net.sessions_opened']}")
+
+
 def main() -> None:
     if len(sys.argv) < 2:
-        fail("usage: check_metrics_schema.py <snapshot.json> [--allow-zero-replay]")
+        fail("usage: check_metrics_schema.py <snapshot.json>"
+             " [--allow-zero-replay] [--expect-net]")
     path = sys.argv[1]
     allow_zero_replay = "--allow-zero-replay" in sys.argv[2:]
+    expect_net = "--expect-net" in sys.argv[2:]
+    # The service bench replies to retransmitted submits from its result
+    # cache, so a clean service snapshot legitimately has zero replays.
+    allow_zero_replay = allow_zero_replay or expect_net
     try:
         with open(path, encoding="utf-8") as f:
             snap = json.load(f)
@@ -69,9 +115,13 @@ def main() -> None:
     if not snap["spans"]:
         fail("no spans recorded — TraceSpan instrumentation missing")
 
+    net_summary = ""
+    if expect_net:
+        net_summary = "; " + check_net_counters(snap["counters"])
+
     print(f"metrics schema: OK ({path}: {len(snap['counters'])} counters, "
           f"{len(snap['spans'])} spans, selection.candidates_tried={tried}, "
-          f"auth.replay_rejected={replay})")
+          f"auth.replay_rejected={replay}{net_summary})")
 
 
 if __name__ == "__main__":

@@ -7,6 +7,9 @@
 #             the snapshot (tools/check_metrics_schema.py): counters/gauges/
 #             histograms/spans shape, nonzero selection cost, nonzero replay
 #             rejections from the re-seeded second authentication
+#   service   bench_service_load over a faulty wire (exit code is the
+#             zero-drift audit), net.* counter schema check (--expect-net),
+#             and tests/test_service under TSan
 #   asan      ASan+UBSan RelWithDebInfo, full test suite
 #   tsan      TSan RelWithDebInfo, parallel-layer tests
 #             (tests/test_parallel.cpp hammers the pool with 1/2/8-lane
@@ -61,15 +64,36 @@ asan_job() {
       ctest --test-dir "${prefix}-asan" --output-on-failure -j "${jobs}"
 }
 
-tsan_job() {
+tsan_configure() {
   cmake -B "${prefix}-tsan" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DXPUF_SANITIZE=thread \
     -DXPUF_WERROR=ON \
     -DXPUF_BUILD_BENCHMARKS=OFF \
-    -DXPUF_BUILD_EXAMPLES=OFF &&
+    -DXPUF_BUILD_EXAMPLES=OFF
+}
+
+tsan_job() {
+  tsan_configure &&
     cmake --build "${prefix}-tsan" -j "${jobs}" --target test_parallel &&
     "${prefix}-tsan/tests/test_parallel"
+}
+
+# Service layer end-to-end: the Release load bench over a faulty wire (its
+# exit code IS the zero-drift audit), the net.* schema check on its snapshot,
+# and the engine test suite under TSan (shard workers + sharded counters).
+service_job() {
+  "${prefix}/bench/bench_service_load" \
+    --devices 24 --threads 2 \
+    --metrics-out "${logdir}/service_metrics.json" &&
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/check_metrics_schema.py "${logdir}/service_metrics.json" --expect-net
+    else
+      echo "python3 absent; schema check skipped (snapshot at ${logdir}/service_metrics.json)"
+    fi &&
+    tsan_configure &&
+    cmake --build "${prefix}-tsan" -j "${jobs}" --target test_service &&
+    "${prefix}-tsan/tests/test_service"
 }
 
 metrics_job() {
@@ -85,6 +109,7 @@ metrics_job() {
 
 run_job release release_job
 run_job metrics metrics_job
+run_job service service_job
 run_job asan asan_job
 run_job tsan tsan_job
 run_job tidy ./tools/tidy.sh "${prefix}-tidy"

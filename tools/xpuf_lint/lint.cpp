@@ -34,6 +34,9 @@ const std::vector<RuleInfo> kRules = {
     {"include-order",
      "header missing #pragma once, self-header not included first, or <system> include "
      "after a \"project\" include"},
+    {"wire-portability",
+     "wire codec uses memcpy/type-punning or non-fixed-width integers; serialize "
+     "field-by-field with explicit little-endian put_/read_ helpers"},
     {"bad-suppression", "xpuf-lint allow comment names a rule that does not exist"},
 };
 
@@ -597,6 +600,29 @@ std::vector<Violation> lint_source(const std::string& rel_path, const std::strin
         }
       }
     }
+  }
+
+  // wire-portability: the frame codec (src/net/wire.*) is the one place
+  // where bytes cross a machine boundary, so it must stay byte-exact on any
+  // host: no struct aliasing (memcpy/reinterpret_cast/bit_cast reads memory
+  // in host endianness and host padding), and no integer type whose width
+  // the standard leaves to the platform. Fields serialize one at a time
+  // through the explicit little-endian put_*/read_* helpers.
+  if (path_has_prefix(rel_path, "src/net/wire.")) {
+    static const std::vector<PatternRule> pats = {
+        {"wire-portability", std::regex(R"(\bmem(cpy|move)\s*\()"),
+         "memcpy/memmove aliases object bytes in host order; serialize each field "
+         "through the put_/read_ helpers"},
+        {"wire-portability", std::regex(R"(\breinterpret_cast\b|\bstd::bit_cast\b)"),
+         "type punning reads host-endian, host-padded memory; decode through WireReader"},
+        {"wire-portability",
+         std::regex(R"((^|[^\w])(int|long|short|unsigned|signed|size_t|wchar_t)\b)"),
+         "platform-width integer in the wire codec; use std::uintN_t so the layout is "
+         "identical on every host"},
+    };
+    for (std::size_t i = 0; i < code_lines.size(); ++i)
+      for (const PatternRule& pr : pats)
+        if (std::regex_search(code_lines[i], pr.pattern)) report(pr.rule, i, pr.message);
   }
 
   // require-guard: only .cpp files in src/puf/ and src/sim/.

@@ -33,6 +33,12 @@
 //   include-order        headers missing #pragma once (or placing it after an
 //                        include); .cpp not including its own header first;
 //                        <system> includes after "project" includes
+//   wire-portability     inside src/net/wire.{hpp,cpp} only: raw memcpy /
+//                        memmove of object bytes, reinterpret_cast /
+//                        std::bit_cast type punning, or platform-width
+//                        integer tokens (int, long, size_t, ...) — the frame
+//                        codec serializes fixed-width fields through the
+//                        explicit little-endian put_/read_ helpers
 #pragma once
 
 #include <cstddef>
