@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/csv.hpp"
@@ -69,16 +70,31 @@ class BenchTimer {
 
   void set_items(std::uint64_t items) { items_ = items; }
 
+  /// Attaches an extra numeric field to the timing record (e.g. the
+  /// per-mode seconds of an A/B bench). Last write per key wins; keys must
+  /// not collide with the fixed name/seconds/threads/items schema.
+  void set_field(const std::string& key, double value) {
+    for (auto& [k, v] : fields_)
+      if (k == key) {
+        v = value;
+        return;
+      }
+    fields_.emplace_back(key, value);
+  }
+
   ~BenchTimer() {
     const double seconds = timer_.seconds();
     const std::string path = out_dir() + "/" + name_ + "_timing.json";
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
       std::fprintf(f,
                    "{\"name\": \"%s\", \"seconds\": %.6f, \"threads\": %llu, "
-                   "\"items\": %llu}\n",
+                   "\"items\": %llu",
                    name_.c_str(), seconds,
                    static_cast<unsigned long long>(ThreadPool::global_threads()),
                    static_cast<unsigned long long>(items_));
+      for (const auto& [k, v] : fields_)
+        std::fprintf(f, ", \"%s\": %.6f", k.c_str(), v);
+      std::fprintf(f, "}\n");
       std::fclose(f);
       std::printf("timing written: %s (%.3f s, %llu threads)\n", path.c_str(), seconds,
                   static_cast<unsigned long long>(ThreadPool::global_threads()));
@@ -89,6 +105,7 @@ class BenchTimer {
   std::string name_;
   Timer timer_;
   std::uint64_t items_;
+  std::vector<std::pair<std::string, double>> fields_;
 };
 
 /// Shared observability flags: every bench that constructs a MetricsReport
@@ -164,6 +181,7 @@ class BenchHarness {
   const Cli& cli() const { return cli_; }
   const BenchScale& scale() const { return scale_; }
   void set_items(std::uint64_t items) { timer_->set_items(items); }
+  void set_field(const std::string& key, double value) { timer_->set_field(key, value); }
 
  private:
   Cli cli_;

@@ -17,6 +17,13 @@ double normal_pdf(double x) { return kInvSqrt2Pi * std::exp(-0.5 * x * x); }
 
 double normal_cdf(double x) { return 0.5 * std::erfc(-x * kInvSqrt2); }
 
+void normal_cdf_batch(std::span<const double> xs, std::span<double> out) {
+  XPUF_REQUIRE(xs.size() == out.size(), "normal_cdf_batch needs equal-length spans");
+  // The exact expression normal_cdf uses, element by element: the batch API
+  // exists so callers make one call per block, not so results can drift.
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = 0.5 * std::erfc(-xs[i] * kInvSqrt2);
+}
+
 double log_normal_cdf(double x) {
   if (x > -8.0) return std::log(normal_cdf(x));
   // Asymptotic expansion of the Mills ratio for the far lower tail:

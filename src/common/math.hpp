@@ -19,6 +19,12 @@ double normal_pdf(double x);
 /// Standard normal CDF Phi(x), accurate in both tails (built on erfc).
 double normal_cdf(double x);
 
+/// Batched Phi over a span: out[i] = normal_cdf(xs[i]), bit-for-bit. One
+/// straight-line loop over the same erfc expression, so the batched
+/// evaluation core (sim/linear.hpp) and the scalar hot paths can never
+/// disagree. Spans must have equal length; in-place (out == xs) is fine.
+void normal_cdf_batch(std::span<const double> xs, std::span<double> out);
+
 /// log(Phi(x)); stable for very negative x where Phi underflows.
 double log_normal_cdf(double x);
 

@@ -24,6 +24,7 @@ AttackDataset build_stable_attack_dataset(const sim::XorPufChip& chip,
                "attack n_pufs out of range");
   XPUF_REQUIRE(config.train_fraction > 0.0 && config.train_fraction < 1.0,
                "train_fraction must be in (0, 1)");
+  XPUF_REQUIRE(config.trials > 0, "soft-response measurement needs at least one trial");
 
   const std::size_t k = chip.stages();
 
@@ -31,30 +32,50 @@ AttackDataset build_stable_attack_dataset(const sim::XorPufChip& chip,
   // private stream keyed by its index, so the corpus is bit-identical for
   // any thread count. Results land in per-index slots and are compacted in
   // index order below.
+  //
+  // The noise-free probabilities go through the batched evaluation core:
+  // each chunk materializes its challenges first (keeping every item stream
+  // alive), runs one GEMM tile for all (challenge, PUF) cells, then draws
+  // the binomial counters per item — in PUF order with the historical
+  // early exit at the first unstable tap, so each item stream consumes
+  // draws exactly as the per-cell measurement loop did.
+  const sim::ChipLinearView view =
+      chip.linear_view(config.environment, config.n_pufs);
   const StreamFamily streams(rng.fork_base());
   std::vector<Challenge> drawn(config.challenges);
   std::vector<std::uint8_t> keep(config.challenges, 0);
   std::vector<std::uint8_t> bits(config.challenges, 0);
   parallel_for(config.challenges, kCrpChunk,
                [&](std::size_t begin, std::size_t end, std::size_t) {
+                 const std::size_t m = end - begin;
+                 std::vector<Rng> item_rngs;
+                 std::vector<Challenge> batch;
+                 item_rngs.reserve(m);
+                 batch.reserve(m);
                  for (std::size_t i = begin; i < end; ++i) {
-                   Rng item_rng = streams.stream(i);
-                   Challenge c = random_challenge(k, item_rng);
+                   item_rngs.push_back(streams.stream(i));
+                   batch.push_back(random_challenge(k, item_rngs.back()));
+                 }
+                 const sim::FeatureBlock block(std::move(batch));
+                 std::vector<double> probs(m * config.n_pufs);
+                 view.one_probabilities_into(block, 0, m, probs.data());
+                 for (std::size_t r = 0; r < m; ++r) {
+                   Rng& item_rng = item_rngs[r];
+                   const double* row = probs.data() + r * config.n_pufs;
                    bool all_stable = true;
                    bool xorr = false;
                    for (std::size_t p = 0; p < config.n_pufs; ++p) {
-                     const sim::SoftMeasurement m = chip.measure_soft_response(
-                         p, c, config.environment, config.trials, item_rng);
-                     if (!m.fully_stable()) {
+                     const std::uint64_t ones = item_rng.binomial(config.trials, row[p]);
+                     if (ones != 0 && ones != config.trials) {
                        all_stable = false;
                        break;
                      }
-                     xorr ^= (m.ones == m.trials);
+                     xorr ^= (ones == config.trials);
                    }
                    if (all_stable) {
-                     drawn[i] = std::move(c);
-                     keep[i] = 1;
-                     bits[i] = xorr ? 1 : 0;
+                     drawn[begin + r] = block.challenge(r);
+                     keep[begin + r] = 1;
+                     bits[begin + r] = xorr ? 1 : 0;
                    }
                  }
                });

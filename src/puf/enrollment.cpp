@@ -60,19 +60,77 @@ bool ServerModel::predict_xor(const Challenge& challenge, std::size_t n_pufs) co
   return out;
 }
 
+linalg::Matrix ServerModel::predict_raw_batch(const FeatureBlock& block,
+                                              std::size_t n_pufs) const {
+  XPUF_REQUIRE(n_pufs >= 1 && n_pufs <= pufs_.size(), "n_pufs out of range");
+  if (block.empty()) return linalg::Matrix(0, n_pufs);
+  const std::size_t f = stages() + 1;
+  XPUF_REQUIRE(block.features() == f, "challenge length mismatch");
+  // Stacking the weight rows is O(n_pufs * k) — noise next to the GEMM.
+  linalg::Matrix stacked(n_pufs, f);
+  for (std::size_t p = 0; p < n_pufs; ++p) {
+    const linalg::Vector& w = pufs_[p].model.weights();
+    XPUF_REQUIRE(w.size() == f, "mixed stage counts in ServerModel");
+    double* row = stacked.row(p);
+    for (std::size_t i = 0; i < f; ++i) row[i] = w[i];
+  }
+  return linalg::matmul_nt(block.phi(), stacked);
+}
+
+// Dimension checks live in predict_raw_batch, the first call made.
+// xpuf-lint: allow(require-guard)
+std::vector<std::uint8_t> ServerModel::all_stable_batch(const FeatureBlock& block,
+                                                        std::size_t n_pufs) const {
+  const linalg::Matrix raw = predict_raw_batch(block, n_pufs);
+  std::vector<ThresholdPair> thresholds;
+  thresholds.reserve(n_pufs);
+  for (std::size_t p = 0; p < n_pufs; ++p) thresholds.push_back(adjusted_thresholds(p));
+  std::vector<std::uint8_t> out(block.size(), 0);
+  for (std::size_t c = 0; c < block.size(); ++c) {
+    bool stable = true;
+    for (std::size_t p = 0; p < n_pufs && stable; ++p)
+      stable = thresholds[p].classify(raw(c, p)) != StableClass::kUnstable;
+    out[c] = stable ? 1 : 0;
+  }
+  return out;
+}
+
+// Same: guarded by predict_raw_batch.  xpuf-lint: allow(require-guard)
+std::vector<std::uint8_t> ServerModel::predict_xor_batch(const FeatureBlock& block,
+                                                         std::size_t n_pufs) const {
+  const linalg::Matrix raw = predict_raw_batch(block, n_pufs);
+  std::vector<std::uint8_t> out(block.size(), 0);
+  for (std::size_t c = 0; c < block.size(); ++c) {
+    bool bit = false;
+    for (std::size_t p = 0; p < n_pufs; ++p) bit ^= raw(c, p) > 0.5;
+    out[c] = bit ? 1 : 0;
+  }
+  return out;
+}
+
 ServerModel Enroller::enroll(const sim::XorPufChip& chip, Rng& rng) const {
   sim::ChipTester tester(config_.environment, config_.trials, rng.fork());
-  const auto challenges = tester.random_challenges(chip, config_.training_challenges);
-  const sim::ChipSoftScan scan = tester.scan_individual(chip, challenges);
-  return enroll_from_scan(chip.id(), scan);
+  // Build the feature block once: the scan's batched evaluation and the
+  // per-PUF regressions below share the same Phi matrix.
+  const FeatureBlock block(
+      tester.random_challenges(chip, config_.training_challenges));
+  const sim::ChipSoftScan scan = tester.scan_individual(chip, block);
+  return enroll_from_scan(chip.id(), scan, block);
 }
 
 ServerModel Enroller::enroll_from_scan(std::size_t chip_id,
                                        const sim::ChipSoftScan& scan) const {
+  return enroll_from_scan(chip_id, scan, FeatureBlock(scan.challenges));
+}
+
+ServerModel Enroller::enroll_from_scan(std::size_t chip_id, const sim::ChipSoftScan& scan,
+                                       const FeatureBlock& block) const {
   XPUF_REQUIRE(!scan.challenges.empty(), "enrollment scan has no challenges");
   XPUF_REQUIRE(!scan.soft.empty(), "enrollment scan has no PUF measurements");
+  XPUF_REQUIRE(block.size() == scan.challenges.size(),
+               "feature block does not match the scan");
 
-  const linalg::Matrix phi = feature_matrix(scan.challenges);
+  const linalg::Matrix& phi = block.phi();
   std::vector<PufEnrollment> pufs;
   pufs.reserve(scan.soft.size());
 

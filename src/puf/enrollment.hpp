@@ -71,6 +71,24 @@ class ServerModel {
   bool predict_xor(const Challenge& challenge, std::size_t n_pufs) const;
   bool predict_xor(const Challenge& challenge) const { return predict_xor(challenge, puf_count()); }
 
+  /// Batched raw predictions over a feature block: row c, column p holds
+  /// PUF p's prediction for challenge c — one GEMM of Phi against the
+  /// stacked model weights, bit-identical to predict_soft per cell (both
+  /// accumulate the dot in ascending index order).
+  linalg::Matrix predict_raw_batch(const FeatureBlock& block, std::size_t n_pufs) const;
+  linalg::Matrix predict_raw_batch(const FeatureBlock& block) const {
+    return predict_raw_batch(block, puf_count());
+  }
+
+  /// Batched all_stable over a block: out[c] != 0 iff the first n_pufs
+  /// predictions for challenge c all clear the adjusted thresholds.
+  std::vector<std::uint8_t> all_stable_batch(const FeatureBlock& block,
+                                             std::size_t n_pufs) const;
+
+  /// Batched predict_xor over a block.
+  std::vector<std::uint8_t> predict_xor_batch(const FeatureBlock& block,
+                                              std::size_t n_pufs) const;
+
  private:
   std::size_t chip_id_ = 0;
   std::vector<PufEnrollment> pufs_;
@@ -100,6 +118,12 @@ class Enroller {
   /// Enrolls from an existing soft-response scan (used when the same
   /// measurement set feeds several analyses).
   ServerModel enroll_from_scan(std::size_t chip_id, const sim::ChipSoftScan& scan) const;
+
+  /// Same, with the scan's feature block supplied by the caller so Phi is
+  /// computed once and shared across scans, corners, and the regression
+  /// (block.challenges() must equal scan.challenges).
+  ServerModel enroll_from_scan(std::size_t chip_id, const sim::ChipSoftScan& scan,
+                               const FeatureBlock& block) const;
 
  private:
   EnrollmentConfig config_;

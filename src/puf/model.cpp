@@ -7,16 +7,19 @@ namespace xpuf::puf {
 double ArbiterPufModel::predict_raw(const Challenge& challenge) const {
   XPUF_REQUIRE(!empty(), "predict on an empty model");
   XPUF_REQUIRE(challenge.size() + 1 == weights_.size(), "challenge length mismatch");
-  // Inline the feature transform: phi is a suffix product, so accumulate
-  // w . phi right to left without materializing phi.
-  double acc = 1.0;
-  double sum = weights_[challenge.size()];  // constant feature
-  for (std::size_t ii = challenge.size(); ii > 0; --ii) {
-    const std::size_t i = ii - 1;
-    acc *= challenge[i] ? -1.0 : 1.0;
-    sum += weights_[i] * acc;
+  // Inline the feature transform without materializing phi, but accumulate
+  // in ASCENDING index order: phi entries are exact +/-1, so summing
+  // w_0 phi_0, w_1 phi_1, ... reproduces the span/GEMM accumulation order
+  // bit for bit — the batched evaluation core's equivalence contract.
+  // phi_0 is the full suffix product; phi_{i+1} = phi_i * (1 - 2 c_i).
+  double sign = 1.0;
+  for (const auto bit : challenge) sign *= bit ? -1.0 : 1.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < challenge.size(); ++i) {
+    sum += weights_[i] * sign;
+    sign *= challenge[i] ? -1.0 : 1.0;
   }
-  return sum;
+  return sum + weights_[challenge.size()];  // constant feature last
 }
 
 double ArbiterPufModel::predict_raw(std::span<const double> phi) const {

@@ -8,6 +8,11 @@ namespace xpuf::puf {
 
 namespace {
 
+// Candidates per evaluation block in the model-based selector: enough rows
+// to amortize the GEMM, small enough that the tail block wasted past the
+// quota stays cheap. Fixed so the candidate stream is reproducible.
+constexpr std::size_t kSelectBlock = 256;
+
 /// Selection-cost accounting shared by both selector flavors. The
 /// per-batch histogram uses fixed decade bounds so batch-cost shapes are
 /// comparable across runs and XOR widths (the paper's yield collapses
@@ -21,6 +26,33 @@ void record_selection(const SelectionResult& result) {
   tried.add(result.candidates_tried);
   accepted.add(result.challenges.size());
   per_batch.observe(static_cast<double>(result.candidates_tried));
+}
+
+/// The per-candidate stable-check/XOR-accumulate measurement shared by
+/// MeasurementBasedSelector::select and ::filter: measures the first n_pufs
+/// taps in order, stopping at the first unstable one (so RNG consumption
+/// matches the historical early-exit loop).
+struct MeasuredCandidate {
+  bool all_stable = true;
+  bool xor_response = false;
+};
+
+MeasuredCandidate measure_candidate(const sim::XorPufChip& chip, const Challenge& c,
+                                    const sim::Environment& env, std::uint64_t trials,
+                                    std::size_t n_pufs, Rng& rng) {
+  MeasuredCandidate out;
+  for (std::size_t p = 0; p < n_pufs; ++p) {
+    // The measurement-based baseline is inherently per-cell: each tap read
+    // consumes shared-RNG draws and the early exit below depends on the
+    // previous tap's outcome.  xpuf-lint: allow(scalar-eval)
+    const sim::SoftMeasurement m = chip.measure_soft_response(p, c, env, trials, rng);
+    if (!m.fully_stable()) {
+      out.all_stable = false;
+      break;
+    }
+    out.xor_response ^= m.ones == m.trials;
+  }
+  return out;
 }
 
 }  // namespace
@@ -39,12 +71,34 @@ SelectionResult ModelBasedSelector::select(std::size_t count, Rng& rng,
   XPUF_TRACE_SPAN("selection.select");
   SelectionResult result;
   const std::size_t stages = model_->stages();
+  // Thresholds are pure functions of the model + betas; derive them once.
+  std::vector<ThresholdPair> thresholds;
+  thresholds.reserve(n_pufs_);
+  for (std::size_t p = 0; p < n_pufs_; ++p)
+    thresholds.push_back(model_->adjusted_thresholds(p));
+  // Candidates are generated in fixed blocks and evaluated for all n models
+  // with one GEMM per block, then accepted IN DRAW ORDER. The accounting
+  // contract is exactly the serial loop's: candidates_tried counts only
+  // candidates examined before the quota filled (a partially consumed tail
+  // block stops counting mid-block), and no block reaches past
+  // max_attempts. Only the RNG's end state may run ahead of the serial
+  // walk, by the unexamined remainder of the final block.
   while (result.challenges.size() < count && result.candidates_tried < max_attempts) {
-    Challenge c = random_challenge(stages, rng);
-    ++result.candidates_tried;
-    if (model_->all_stable(c, n_pufs_)) {
-      result.expected_responses.push_back(model_->predict_xor(c, n_pufs_));
-      result.challenges.push_back(std::move(c));
+    const std::size_t want =
+        std::min(kSelectBlock, max_attempts - result.candidates_tried);
+    FeatureBlock block(random_challenges(stages, want, rng));
+    const linalg::Matrix raw = model_->predict_raw_batch(block, n_pufs_);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (result.challenges.size() >= count) break;
+      ++result.candidates_tried;
+      bool stable = true;
+      for (std::size_t p = 0; p < n_pufs_ && stable; ++p)
+        stable = thresholds[p].classify(raw(i, p)) != StableClass::kUnstable;
+      if (!stable) continue;
+      bool bit = false;
+      for (std::size_t p = 0; p < n_pufs_; ++p) bit ^= raw(i, p) > 0.5;
+      result.expected_responses.push_back(bit);
+      result.challenges.push_back(block.challenge(i));
     }
   }
   result.filled = result.challenges.size() >= count;
@@ -57,10 +111,22 @@ SelectionResult ModelBasedSelector::filter(const std::vector<Challenge>& candida
     XPUF_REQUIRE(c.size() == model_->stages(), "candidate challenge length != stage count");
   SelectionResult result;
   result.candidates_tried = candidates.size();
-  for (const auto& c : candidates) {
-    if (model_->all_stable(c, n_pufs_)) {
-      result.challenges.push_back(c);
-      result.expected_responses.push_back(model_->predict_xor(c, n_pufs_));
+  if (!candidates.empty()) {
+    const FeatureBlock block(candidates);
+    const linalg::Matrix raw = model_->predict_raw_batch(block, n_pufs_);
+    std::vector<ThresholdPair> thresholds;
+    thresholds.reserve(n_pufs_);
+    for (std::size_t p = 0; p < n_pufs_; ++p)
+      thresholds.push_back(model_->adjusted_thresholds(p));
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      bool stable = true;
+      for (std::size_t p = 0; p < n_pufs_ && stable; ++p)
+        stable = thresholds[p].classify(raw(i, p)) != StableClass::kUnstable;
+      if (!stable) continue;
+      bool bit = false;
+      for (std::size_t p = 0; p < n_pufs_; ++p) bit ^= raw(i, p) > 0.5;
+      result.challenges.push_back(block.challenge(i));
+      result.expected_responses.push_back(bit);
     }
   }
   result.filled = true;
@@ -86,20 +152,10 @@ SelectionResult MeasurementBasedSelector::select(std::size_t count, Rng& rng,
   while (result.challenges.size() < count && result.candidates_tried < max_attempts) {
     Challenge c = random_challenge(stages, rng);
     ++result.candidates_tried;
-    bool all_stable = true;
-    bool xor_response = false;
-    for (std::size_t p = 0; p < n_pufs_; ++p) {
-      const sim::SoftMeasurement m =
-          chip_->measure_soft_response(p, c, env_, trials_, rng);
-      if (!m.fully_stable()) {
-        all_stable = false;
-        break;
-      }
-      xor_response ^= m.ones == m.trials;
-    }
-    if (all_stable) {
+    const MeasuredCandidate m = measure_candidate(*chip_, c, env_, trials_, n_pufs_, rng);
+    if (m.all_stable) {
       result.challenges.push_back(std::move(c));
-      result.expected_responses.push_back(xor_response);
+      result.expected_responses.push_back(m.xor_response);
     }
   }
   result.filled = result.challenges.size() >= count;
@@ -114,20 +170,10 @@ SelectionResult MeasurementBasedSelector::filter(const std::vector<Challenge>& c
   SelectionResult result;
   result.candidates_tried = candidates.size();
   for (const auto& c : candidates) {
-    bool all_stable = true;
-    bool xor_response = false;
-    for (std::size_t p = 0; p < n_pufs_; ++p) {
-      const sim::SoftMeasurement m =
-          chip_->measure_soft_response(p, c, env_, trials_, rng);
-      if (!m.fully_stable()) {
-        all_stable = false;
-        break;
-      }
-      xor_response ^= m.ones == m.trials;
-    }
-    if (all_stable) {
+    const MeasuredCandidate m = measure_candidate(*chip_, c, env_, trials_, n_pufs_, rng);
+    if (m.all_stable) {
       result.challenges.push_back(c);
-      result.expected_responses.push_back(xor_response);
+      result.expected_responses.push_back(m.xor_response);
     }
   }
   result.filled = true;

@@ -52,6 +52,8 @@ StabilizationComparison compare_majority_vote(const sim::XorPufChip& chip,
     // Noise-free reference via the analysis taps.
     bool reference = false;
     for (std::size_t p = 0; p < chip.puf_count(); ++p)
+      // Ground-truth sanity check through the analysis escape hatch — one
+      // challenge, not a batch.  xpuf-lint: allow(scalar-eval)
       reference ^= chip.device_for_analysis(p).delay_difference(c, env) > 0.0;
     if (chip.xor_response(c, env, rng) != reference) ++one_shot_errors;
     if (majority_vote_response(chip, c, env, config, rng) != reference) ++voted_errors;

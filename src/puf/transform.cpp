@@ -4,17 +4,10 @@
 
 namespace xpuf::puf {
 
+// The suffix-product kernel lives in sim/linear.cpp (sim::feature_fill) so
+// the sim layer's batch core and this transform share one implementation.
 void feature_vector_into(const Challenge& challenge, double* out) {
-  XPUF_REQUIRE(out != nullptr, "feature_vector_into needs a buffer of size() + 1 doubles");
-  const std::size_t k = challenge.size();
-  // Suffix products: phi_k = 1 - 2 c_k, phi_i = (1 - 2 c_i) * phi_{i+1}.
-  double acc = 1.0;
-  out[k] = 1.0;
-  for (std::size_t ii = k; ii > 0; --ii) {
-    const std::size_t i = ii - 1;
-    acc *= challenge[i] ? -1.0 : 1.0;
-    out[i] = acc;
-  }
+  sim::feature_fill(challenge, out);
 }
 
 linalg::Vector feature_vector(const Challenge& challenge) {
@@ -46,14 +39,6 @@ Challenge challenge_from_features(const linalg::Vector& phi) {
     c[i] = (phi[i] == phi[i + 1]) ? 0 : 1;
   }
   return c;
-}
-
-std::vector<Challenge> random_challenges(std::size_t stages, std::size_t count, Rng& rng) {
-  XPUF_REQUIRE(stages > 0, "challenges need at least one stage");
-  std::vector<Challenge> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) out.push_back(random_challenge(stages, rng));
-  return out;
 }
 
 }  // namespace xpuf::puf

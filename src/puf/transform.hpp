@@ -9,11 +9,21 @@
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 #include "sim/device.hpp"
+#include "sim/linear.hpp"
 
 namespace xpuf::puf {
 
 using sim::Challenge;
 using sim::random_challenge;
+
+/// Challenge batch with its cached Phi matrix — the batched evaluation
+/// core's caching layer. Defined in sim/linear.hpp (the sim layer consumes
+/// it too and cannot depend on puf/); re-exported here because the feature
+/// transform is this header's subject.
+using sim::FeatureBlock;
+
+/// Canonical batch generator (shared with ChipTester::random_challenges).
+using sim::random_challenges;
 
 /// Number of features for a k-stage challenge (k + 1).
 inline std::size_t feature_count(std::size_t stages) { return stages + 1; }
@@ -31,10 +41,5 @@ linalg::Matrix feature_matrix(const std::vector<Challenge>& challenges);
 /// Inverse direction used by tests: recovers the challenge from its feature
 /// vector (phi is a bijection given phi_{k+1} = 1).
 Challenge challenge_from_features(const linalg::Vector& phi);
-
-/// Draws `count` distinct-ish random challenges (no dedup: with 2^32+ space,
-/// collisions are negligible at paper scale and the paper samples uniformly).
-std::vector<Challenge> random_challenges(std::size_t stages, std::size_t count,
-                                         Rng& rng);
 
 }  // namespace xpuf::puf

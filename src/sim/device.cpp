@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "sim/linear.hpp"
 
 namespace xpuf::sim {
 
@@ -113,6 +114,20 @@ linalg::Vector ArbiterPufDevice::reduced_weights(const Environment& env) const {
   for (std::size_t i = 1; i < k; ++i) w[i] = alpha[i] + beta[i - 1];
   w[k] = beta[k - 1];
   return w;
+}
+
+DeviceLinearView ArbiterPufDevice::linear_view(const Environment& env) const {
+  return {reduced_weights(env), noise_sigma(env)};
+}
+
+linalg::Vector ArbiterPufDevice::delay_differences(const FeatureBlock& block,
+                                                   const Environment& env) const {
+  return linear_view(env).delay_differences(block);
+}
+
+linalg::Vector ArbiterPufDevice::one_probabilities(const FeatureBlock& block,
+                                                   const Environment& env) const {
+  return linear_view(env).one_probabilities(block);
 }
 
 }  // namespace xpuf::sim

@@ -21,6 +21,11 @@
 
 namespace xpuf::sim {
 
+// Batch-evaluation types (defined in sim/linear.hpp, which includes this
+// header; the device only needs to name them in signatures).
+class FeatureBlock;
+struct DeviceLinearView;
+
 /// Challenge bits, one per stage, c_i in {0, 1}. 0 = straight, 1 = crossed.
 using Challenge = std::vector<std::uint8_t>;
 
@@ -92,6 +97,22 @@ class ArbiterPufDevice {
   /// protocol never reads this; it must *learn* the weights from soft
   /// responses like the paper's server does.
   linalg::Vector reduced_weights(const Environment& env) const;
+
+  /// Linear-view snapshot at a corner: reduced weights + noise sigma with
+  /// the environment scale/shift and aging level baked in once, so batch
+  /// evaluation never re-derives them per challenge. The snapshot does not
+  /// track later age() calls — rebuild after aging. Same access contract as
+  /// reduced_weights (tests/analysis/batch core, not protocol code).
+  DeviceLinearView linear_view(const Environment& env) const;
+
+  /// Batch evaluation over a feature block (see sim/linear.hpp): one value
+  /// per block row, computed from the linear view. Agrees with the
+  /// recursive delay_difference to linear-reduction rounding (~1e-12), and
+  /// bit-exactly with linear_view(env).delay(phi) per row.
+  linalg::Vector delay_differences(const FeatureBlock& block,
+                                   const Environment& env) const;
+  linalg::Vector one_probabilities(const FeatureBlock& block,
+                                   const Environment& env) const;
 
   const DeviceParameters& parameters() const { return params_; }
 

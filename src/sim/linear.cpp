@@ -1,0 +1,322 @@
+#include "sim/linear.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace xpuf::sim {
+
+void feature_fill(const Challenge& challenge, double* out) {
+  XPUF_REQUIRE(out != nullptr, "feature_fill needs a buffer of size() + 1 doubles");
+  const std::size_t k = challenge.size();
+  // Suffix products: phi_k = 1 - 2 c_k, phi_i = (1 - 2 c_i) * phi_{i+1}.
+  double acc = 1.0;
+  out[k] = 1.0;
+  for (std::size_t ii = k; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    acc *= challenge[i] ? -1.0 : 1.0;
+    out[i] = acc;
+  }
+}
+
+// An empty batch is a legal no-op block (empty scans are no-ops too).
+// xpuf-lint: allow(require-guard)
+std::vector<Challenge> random_challenges(std::size_t stages, std::size_t count, Rng& rng) {
+  XPUF_REQUIRE(stages > 0, "challenges need at least one stage");
+  std::vector<Challenge> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(random_challenge(stages, rng));
+  return out;
+}
+
+// Same: an empty block is legal and yields no rows.
+// xpuf-lint: allow(require-guard)
+FeatureBlock::FeatureBlock(std::vector<Challenge> challenges)
+    : challenges_(std::move(challenges)) {
+  if (challenges_.empty()) return;
+  stages_ = challenges_.front().size();
+  XPUF_REQUIRE(stages_ > 0, "feature block of zero-stage challenges");
+  phi_ = linalg::Matrix(challenges_.size(), stages_ + 1);
+  for (std::size_t r = 0; r < challenges_.size(); ++r) {
+    XPUF_REQUIRE(challenges_[r].size() == stages_, "mixed challenge lengths in batch");
+    feature_fill(challenges_[r], phi_.row(r));
+  }
+}
+
+double DeviceLinearView::delay(std::span<const double> phi) const {
+  XPUF_REQUIRE(phi.size() == weights.size(), "feature length mismatch");
+  // Ascending dot — the exact accumulation order matmul_nt/matvec use per
+  // output element, which is what makes batch == scalar a bit-level claim.
+  const double* w = weights.data();
+  double s = 0.0;
+  for (std::size_t i = 0; i < phi.size(); ++i) s += w[i] * phi[i];
+  return s;
+}
+
+double DeviceLinearView::one_probability(std::span<const double> phi) const {
+  return normal_cdf(delay(phi) / noise_sigma);
+}
+
+linalg::Vector DeviceLinearView::delay_differences(const FeatureBlock& block) const {
+  linalg::Vector out(block.size());
+  delay_differences_into(block, 0, block.size(), out.data());
+  return out;
+}
+
+linalg::Vector DeviceLinearView::one_probabilities(const FeatureBlock& block) const {
+  linalg::Vector out(block.size());
+  one_probabilities_into(block, 0, block.size(), out.data());
+  return out;
+}
+
+// Row range is the caller's tile; an empty range writes nothing.
+// xpuf-lint: allow(require-guard)
+void DeviceLinearView::delay_differences_into(const FeatureBlock& block, std::size_t begin,
+                                              std::size_t end, double* out) const {
+  XPUF_REQUIRE(end <= block.size() && begin <= end, "tile range out of bounds");
+  XPUF_REQUIRE(begin == end || block.features() == weights.size(),
+               "feature length mismatch");
+  for (std::size_t r = begin; r < end; ++r)
+    out[r - begin] = delay({block.row(r), weights.size()});
+}
+
+// Same tile contract as delay_differences_into.
+// xpuf-lint: allow(require-guard)
+void DeviceLinearView::one_probabilities_into(const FeatureBlock& block, std::size_t begin,
+                                              std::size_t end, double* out) const {
+  delay_differences_into(block, begin, end, out);
+  const std::size_t n = end - begin;
+  for (std::size_t i = 0; i < n; ++i) out[i] /= noise_sigma;
+  normal_cdf_batch({out, n}, {out, n});
+}
+
+ChipLinearView::ChipLinearView(std::vector<DeviceLinearView> devices) {
+  XPUF_REQUIRE(!devices.empty(), "chip view needs at least one device");
+  const std::size_t f = devices.front().features();
+  weights_ = linalg::Matrix(devices.size(), f);
+  // The transposed copy makes the tile kernels' inner PUF loop contiguous:
+  // row i of weights_t_ holds every device's weight for feature i. Rows are
+  // zero-padded to a four-lane stride so the AVX2 kernels can issue whole
+  // vector loads; the padding lanes accumulate zeros and are never stored.
+  weights_t_ = linalg::Matrix(f, (devices.size() + 3) / 4 * 4);
+  noise_sigmas_.reserve(devices.size());
+  for (std::size_t p = 0; p < devices.size(); ++p) {
+    XPUF_REQUIRE(devices[p].features() == f, "mixed stage counts in chip view");
+    const double* w = devices[p].weights.data();
+    double* row = weights_.row(p);
+    for (std::size_t i = 0; i < f; ++i) {
+      row[i] = w[i];
+      weights_t_(i, p) = w[i];
+    }
+    noise_sigmas_.push_back(devices[p].noise_sigma);
+  }
+}
+
+double ChipLinearView::noise_sigma(std::size_t puf_index) const {
+  XPUF_REQUIRE(puf_index < noise_sigmas_.size(), "PUF index out of range");
+  return noise_sigmas_[puf_index];
+}
+
+// Empty blocks produce an empty matrix, mirroring the tile kernels.
+// xpuf-lint: allow(require-guard)
+linalg::Matrix ChipLinearView::delay_differences(const FeatureBlock& block) const {
+  if (block.empty()) return linalg::Matrix(0, puf_count());
+  XPUF_REQUIRE(block.features() == features(), "feature length mismatch");
+  return linalg::matmul_nt(block.phi(), weights_);
+}
+
+// Same empty-block contract.  xpuf-lint: allow(require-guard)
+linalg::Matrix ChipLinearView::one_probabilities(const FeatureBlock& block) const {
+  linalg::Matrix delays = delay_differences(block);
+  for (std::size_t r = 0; r < delays.rows(); ++r) {
+    double* row = delays.row(r);
+    for (std::size_t p = 0; p < noise_sigmas_.size(); ++p) row[p] /= noise_sigmas_[p];
+  }
+  const std::size_t n = delays.rows() * delays.cols();
+  std::span<double> flat(delays.row(0), n);
+  normal_cdf_batch(flat, flat);
+  return delays;
+}
+
+namespace {
+
+/// Feature-outer tile kernel for a compile-time PUF count: every output
+/// element still sums its w(p, i) * phi[i] terms in ascending i — identical
+/// to matmul_nt's per-element order, so the result is bit-identical — but
+/// the N accumulation chains are independent, live in registers, and the
+/// inner loop is contiguous over the transposed weights.
+template <std::size_t N>
+[[gnu::noinline]] void delay_tile_fixed(const linalg::Matrix& weights_t,
+                                        const FeatureBlock& block, std::size_t begin,
+                                        std::size_t end, double* out) {
+  const std::size_t f = weights_t.rows();
+  for (std::size_t r = begin; r < end; ++r) {
+    const double* phi = block.row(r);
+    double acc[N] = {};
+    for (std::size_t i = 0; i < f; ++i) {
+      const double phi_i = phi[i];
+      const double* wt = weights_t.row(i);
+      for (std::size_t p = 0; p < N; ++p) acc[p] += wt[p] * phi_i;
+    }
+    double* orow = out + (r - begin) * N;
+    for (std::size_t p = 0; p < N; ++p) orow[p] = acc[p];
+  }
+}
+
+/// Runtime-width fallback, same accumulation order. `n` is the true PUF
+/// count; weights_t rows may be zero-padded beyond it.
+void delay_tile_generic(const linalg::Matrix& weights_t, std::size_t n,
+                        const FeatureBlock& block, std::size_t begin, std::size_t end,
+                        double* out) {
+  const std::size_t f = weights_t.rows();
+  std::vector<double> acc(n);
+  for (std::size_t r = begin; r < end; ++r) {
+    const double* phi = block.row(r);
+    for (std::size_t p = 0; p < n; ++p) acc[p] = 0.0;
+    for (std::size_t i = 0; i < f; ++i) {
+      const double phi_i = phi[i];
+      const double* wt = weights_t.row(i);
+      for (std::size_t p = 0; p < n; ++p) acc[p] += wt[p] * phi_i;
+    }
+    double* orow = out + (r - begin) * n;
+    for (std::size_t p = 0; p < n; ++p) orow[p] = acc[p];
+  }
+}
+
+#if defined(__AVX2__)
+
+/// Inner body of the AVX2 tile: R challenge rows x V four-wide lanes over
+/// the zero-padded PUF dimension. Each output element owns one vector lane
+/// and accumulates its w(p, i) * phi[i] terms serially in ascending i — the
+/// exact scalar order — and vmulpd/vaddpd are per-lane IEEE operations with
+/// contraction pinned off, so the result is bit-identical to the scalar
+/// dot. Unrolling rows keeps R x V independent add chains in flight, which
+/// is what hides the four-cycle vaddpd latency the single-dot walk eats.
+template <std::size_t V, std::size_t R>
+inline void avx2_rows(const double* w0, std::size_t f, std::size_t stride,
+                      const double* const* phi, const double* div, double* tmp) {
+  __m256d acc[R][V];
+  for (std::size_t q = 0; q < R; ++q)
+    for (std::size_t v = 0; v < V; ++v) acc[q][v] = _mm256_setzero_pd();
+  const double* wt = w0;
+  for (std::size_t i = 0; i < f; ++i, wt += stride) {
+    for (std::size_t q = 0; q < R; ++q) {
+      const __m256d ph = _mm256_broadcast_sd(phi[q] + i);
+      for (std::size_t v = 0; v < V; ++v)
+        acc[q][v] =
+            _mm256_add_pd(acc[q][v], _mm256_mul_pd(_mm256_loadu_pd(wt + 4 * v), ph));
+    }
+  }
+  // Optionally divide each lane on the way out (the noise-sigma step of
+  // one_probabilities): vdivpd is the exact same single IEEE division per
+  // element the scalar path performs, four lanes at a time — never a
+  // reciprocal multiply.
+  for (std::size_t q = 0; q < R; ++q)
+    for (std::size_t v = 0; v < V; ++v) {
+      __m256d a = acc[q][v];
+      if (div != nullptr) a = _mm256_div_pd(a, _mm256_loadu_pd(div + 4 * v));
+      _mm256_storeu_pd(tmp + (q * V + v) * 4, a);
+    }
+}
+
+/// AVX2 tile kernel for PUF counts up to 4 * V. `div`, when non-null, points
+/// at `stride` per-lane divisors applied to every row before the store.
+template <std::size_t V>
+[[gnu::noinline]] void delay_tile_avx2(const linalg::Matrix& weights_t, std::size_t n,
+                                       const FeatureBlock& block, std::size_t begin,
+                                       std::size_t end, double* out, const double* div) {
+  const std::size_t f = weights_t.rows();
+  const std::size_t stride = weights_t.cols();
+  const double* w0 = weights_t.row(0);
+  // Four rows per pass; V == 3 drops to two to stay within sixteen ymm regs.
+  constexpr std::size_t kRows = V >= 3 ? 2 : 4;
+  double tmp[kRows * V * 4];
+  const double* phi[kRows];
+  std::size_t r = begin;
+  for (; r + kRows <= end; r += kRows) {
+    for (std::size_t q = 0; q < kRows; ++q) phi[q] = block.row(r + q);
+    avx2_rows<V, kRows>(w0, f, stride, phi, div, tmp);
+    double* orow = out + (r - begin) * n;
+    for (std::size_t q = 0; q < kRows; ++q)
+      for (std::size_t p = 0; p < n; ++p) orow[q * n + p] = tmp[q * V * 4 + p];
+  }
+  for (; r < end; ++r) {
+    phi[0] = block.row(r);
+    avx2_rows<V, 1>(w0, f, stride, phi, div, tmp);
+    double* orow = out + (r - begin) * n;
+    for (std::size_t p = 0; p < n; ++p) orow[p] = tmp[p];
+  }
+}
+
+/// Dispatches the AVX2 tile for the supported widths; returns false for
+/// widths the portable kernels must handle.
+bool avx2_dispatch(const linalg::Matrix& weights_t, std::size_t n,
+                   const FeatureBlock& block, std::size_t begin, std::size_t end,
+                   double* out, const double* div) {
+  if (n < 1 || n > 12) return false;
+  switch ((n + 3) / 4) {
+    case 1: delay_tile_avx2<1>(weights_t, n, block, begin, end, out, div); return true;
+    case 2: delay_tile_avx2<2>(weights_t, n, block, begin, end, out, div); return true;
+    default: delay_tile_avx2<3>(weights_t, n, block, begin, end, out, div); return true;
+  }
+}
+
+#endif  // __AVX2__
+
+}  // namespace
+
+// Tile contract as in DeviceLinearView.  xpuf-lint: allow(require-guard)
+void ChipLinearView::delay_differences_into(const FeatureBlock& block, std::size_t begin,
+                                            std::size_t end, double* out) const {
+  XPUF_REQUIRE(end <= block.size() && begin <= end, "tile range out of bounds");
+  XPUF_REQUIRE(begin == end || block.features() == features(), "feature length mismatch");
+  // Dispatch to a register-blocked kernel for the paper's XOR widths; every
+  // branch computes the exact same IEEE operation sequence per element.
+  const std::size_t n = puf_count();
+#if defined(__AVX2__)
+  if (avx2_dispatch(weights_t_, n, block, begin, end, out, nullptr)) return;
+#endif
+  switch (n) {
+    case 1: delay_tile_fixed<1>(weights_t_, block, begin, end, out); break;
+    case 2: delay_tile_fixed<2>(weights_t_, block, begin, end, out); break;
+    case 3: delay_tile_fixed<3>(weights_t_, block, begin, end, out); break;
+    case 4: delay_tile_fixed<4>(weights_t_, block, begin, end, out); break;
+    case 5: delay_tile_fixed<5>(weights_t_, block, begin, end, out); break;
+    case 6: delay_tile_fixed<6>(weights_t_, block, begin, end, out); break;
+    case 7: delay_tile_fixed<7>(weights_t_, block, begin, end, out); break;
+    case 8: delay_tile_fixed<8>(weights_t_, block, begin, end, out); break;
+    case 10: delay_tile_fixed<10>(weights_t_, block, begin, end, out); break;
+    default: delay_tile_generic(weights_t_, n, block, begin, end, out); break;
+  }
+}
+
+// Same tile contract.
+void ChipLinearView::one_probabilities_into(const FeatureBlock& block, std::size_t begin,
+                                            std::size_t end, double* out) const {
+  XPUF_REQUIRE(end <= block.size() && begin <= end, "tile range out of bounds");
+  XPUF_REQUIRE(begin == end || block.features() == features(), "feature length mismatch");
+  const std::size_t n = puf_count();
+  const std::size_t total = (end - begin) * n;
+#if defined(__AVX2__)
+  // Fused path: the sigma division rides the tile's store (one pass over the
+  // data instead of two), with padding lanes dividing by 1.0.
+  if (n >= 1 && n <= 12) {
+    double sig[12 + 3] = {};
+    const std::size_t stride = weights_t_.cols();
+    for (std::size_t i = 0; i < stride; ++i) sig[i] = i < n ? noise_sigmas_[i] : 1.0;
+    if (avx2_dispatch(weights_t_, n, block, begin, end, out, sig)) {
+      normal_cdf_batch({out, total}, {out, total});
+      return;
+    }
+  }
+#endif
+  delay_differences_into(block, begin, end, out);
+  for (std::size_t r = 0; r < end - begin; ++r)
+    for (std::size_t p = 0; p < n; ++p) out[r * n + p] /= noise_sigmas_[p];
+  normal_cdf_batch({out, total}, {out, total});
+}
+
+}  // namespace xpuf::sim

@@ -1,0 +1,137 @@
+// Batched linear-view evaluation core.
+//
+// The paper's workload is batch-shaped — millions of challenges scanned
+// across n PUFs, 9 V/T corners, and repeated trials — and the additive delay
+// model makes every noise-free delay a dense linear map: delta = w . phi(c).
+// This header factors that observation into three value types:
+//
+//  - FeatureBlock: the row-major Phi matrix of a challenge batch, built once
+//    and shared across PUFs, corners, and repeated scans (Phi depends only
+//    on the challenges, never on the device or environment).
+//  - DeviceLinearView: one device's reduced weights + noise sigma, frozen at
+//    a given (Environment, aging) state.
+//  - ChipLinearView: the stacked n_pufs x (k+1) weight matrix of a chip, so
+//    a whole scan tile is ONE matmul_nt followed by normal_cdf_batch.
+//
+// Determinism contract: the full-batch products (matmul_nt) and the
+// row-range `_into` tile kernels both accumulate each output element with
+// the same ascending-index dot, so batch results are bit-identical to the
+// scalar linear-view evaluation at any thread count or tile size. The tile
+// kernels are serial by design — they are meant to run inside parallel_for
+// chunk bodies, where nested parallelism already degrades to serial.
+//
+// A linear view is a snapshot: it does NOT track later ArbiterPufDevice::age
+// calls or environment changes. Rebuild it per (Environment, aging) state.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "sim/device.hpp"
+
+namespace xpuf::sim {
+
+/// Writes phi(c) into a caller-provided buffer of challenge.size() + 1
+/// doubles: phi_i = prod_{j >= i} (1 - 2 c_j), phi_{k+1} = 1. This is the
+/// canonical parity-transform kernel; puf/transform.hpp delegates here.
+void feature_fill(const Challenge& challenge, double* out);
+
+/// Draws `count` uniformly random challenges (no dedup: with 2^32+ space,
+/// collisions are negligible at paper scale and the paper samples
+/// uniformly). The single shared implementation behind puf::random_challenges
+/// and ChipTester::random_challenges.
+std::vector<Challenge> random_challenges(std::size_t stages, std::size_t count,
+                                         Rng& rng);
+
+/// A challenge batch plus its precomputed row-major Phi matrix
+/// (size() x (stages() + 1)). Build once per batch; reuse across PUFs,
+/// corners, and scans — Phi is environment-independent.
+class FeatureBlock {
+ public:
+  FeatureBlock() = default;
+  explicit FeatureBlock(std::vector<Challenge> challenges);
+
+  std::size_t size() const { return challenges_.size(); }
+  bool empty() const { return challenges_.empty(); }
+  /// Stage count k (0 for an empty block).
+  std::size_t stages() const { return stages_; }
+  /// Feature count k + 1 (0 for an empty block).
+  std::size_t features() const { return empty() ? 0 : stages_ + 1; }
+
+  const std::vector<Challenge>& challenges() const { return challenges_; }
+  const Challenge& challenge(std::size_t i) const { return challenges_[i]; }
+  const linalg::Matrix& phi() const { return phi_; }
+  /// Row i of Phi (contiguous, features() doubles).
+  const double* row(std::size_t i) const { return phi_.row(i); }
+
+ private:
+  std::vector<Challenge> challenges_;
+  linalg::Matrix phi_;
+  std::size_t stages_ = 0;
+};
+
+/// One device's additive-delay model frozen at an (Environment, aging)
+/// state: delta(c) = weights . phi(c), flip probability
+/// Phi_cdf(delta / noise_sigma). Obtain from ArbiterPufDevice::linear_view.
+struct DeviceLinearView {
+  linalg::Vector weights;   ///< reduced weights, length stages + 1
+  double noise_sigma = 1.0; ///< arbiter thermal-noise sigma at the corner
+
+  std::size_t features() const { return weights.size(); }
+
+  /// Scalar evaluation from a precomputed feature row (ascending dot — the
+  /// reference the batch kernels are bit-identical to).
+  double delay(std::span<const double> phi) const;
+  double one_probability(std::span<const double> phi) const;
+
+  /// Batch evaluation over a block: out[i] for challenge i.
+  linalg::Vector delay_differences(const FeatureBlock& block) const;
+  linalg::Vector one_probabilities(const FeatureBlock& block) const;
+
+  /// Tile kernels over block rows [begin, end), writing end - begin values
+  /// into `out`. Serial; intended for parallel_for chunk bodies.
+  void delay_differences_into(const FeatureBlock& block, std::size_t begin,
+                              std::size_t end, double* out) const;
+  void one_probabilities_into(const FeatureBlock& block, std::size_t begin,
+                              std::size_t end, double* out) const;
+};
+
+/// A chip's n devices stacked into one weight matrix, so batch evaluation of
+/// every (challenge, PUF) cell is a single Phi x W^T product.
+class ChipLinearView {
+ public:
+  ChipLinearView() = default;
+  explicit ChipLinearView(std::vector<DeviceLinearView> devices);
+
+  std::size_t puf_count() const { return noise_sigmas_.size(); }
+  std::size_t features() const { return weights_.cols(); }
+  /// Stacked weights, puf_count() x features() row-major.
+  const linalg::Matrix& weights() const { return weights_; }
+  double noise_sigma(std::size_t puf_index) const;
+
+  /// Full-batch products: row i holds challenge i, column p holds PUF p.
+  /// delay_differences is one matmul_nt; one_probabilities divides each
+  /// column by its noise sigma and applies normal_cdf_batch.
+  linalg::Matrix delay_differences(const FeatureBlock& block) const;
+  linalg::Matrix one_probabilities(const FeatureBlock& block) const;
+
+  /// Tile kernels over block rows [begin, end): writes (end - begin) x
+  /// puf_count() values row-major into `out`, bit-identical to the
+  /// corresponding rows of the full-batch products. Serial by design.
+  void delay_differences_into(const FeatureBlock& block, std::size_t begin,
+                              std::size_t end, double* out) const;
+  void one_probabilities_into(const FeatureBlock& block, std::size_t begin,
+                              std::size_t end, double* out) const;
+
+ private:
+  linalg::Matrix weights_;           // puf_count x (k+1)
+  linalg::Matrix weights_t_;         // (k+1) x puf_count zero-padded to a
+                                     // four-lane stride, for the tile kernels
+  std::vector<double> noise_sigmas_; // per-PUF sigma at the snapshot corner
+};
+
+}  // namespace xpuf::sim

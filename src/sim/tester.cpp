@@ -12,36 +12,72 @@ namespace {
 // count) so the chunk grid — and therefore every RNG stream assignment —
 // is identical for any pool size.
 constexpr std::size_t kScanChunk = 64;
+
+void require_block_matches(const FeatureBlock& block, const XorPufChip& chip) {
+  XPUF_REQUIRE(block.empty() || block.stages() == chip.stages(),
+               "challenge length != chip stage count");
+}
 }  // namespace
 
-ChipTester::ChipTester(Environment env, std::uint64_t trials, Rng rng)
-    : env_(env), trials_(trials), rng_(rng) {
+ChipTester::ChipTester(Environment env, std::uint64_t trials, Rng rng, ScanMode mode)
+    : env_(env), trials_(trials), rng_(rng), mode_(mode) {
   XPUF_REQUIRE(trials > 0, "ChipTester needs at least one trial per challenge");
 }
 
 // Any count is legal (an empty scan is a no-op); the stage count is guarded
-// inside random_challenge.  xpuf-lint: allow(require-guard)
+// inside random_challenges.  xpuf-lint: allow(require-guard)
 std::vector<Challenge> ChipTester::random_challenges(const XorPufChip& chip,
                                                      std::size_t count) {
-  std::vector<Challenge> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) out.push_back(random_challenge(chip.stages(), rng_));
-  return out;
+  return sim::random_challenges(chip.stages(), count, rng_);
 }
 
 ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
                                          const std::vector<Challenge>& challenges) {
-  XPUF_TRACE_SPAN("tester.scan_individual");
-  for (const auto& c : challenges)
-    XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
+  return scan_individual(chip, FeatureBlock(challenges));
+}
+
+ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
+                                         const FeatureBlock& block) {
   ChipSoftScan scan;
-  scan.challenges = challenges;
+  scan_individual_into(chip, block, scan);
+  return scan;
+}
+
+void ChipTester::scan_individual_into(const XorPufChip& chip, const FeatureBlock& block,
+                                      ChipSoftScan& scan) {
+  XPUF_TRACE_SPAN("tester.scan_individual");
+  require_block_matches(block, chip);
+  const std::size_t n_pufs = chip.puf_count();
+  const std::size_t n_ch = block.size();
+  // Element-wise vector assignment reuses the destination's heap blocks when
+  // the shape matches the previous scan — that is the whole point of the
+  // _into variant.
+  scan.challenges = block.challenges();
   scan.trials = trials_;
   scan.environment = env_;
-  const std::size_t n_pufs = chip.puf_count();
-  const std::size_t n_ch = challenges.size();
-  scan.soft.assign(n_pufs, std::vector<double>(n_ch, 0.0));
-  scan.stable.assign(n_pufs, std::vector<bool>(n_ch, false));
+  // resize, not assign: every cell below is written exactly once in either
+  // mode, so re-zeroing a reused row would be pure memory traffic.
+  scan.soft.resize(n_pufs);
+  for (auto& row : scan.soft) row.resize(n_ch);
+  scan.stable.resize(n_pufs);
+
+  // Batched mode materializes the linear view up front; this also performs
+  // the per-tap access check a deployed chip must fail (the scalar path
+  // hits the same check inside measure_soft_response).
+  const bool batched = mode_ == ScanMode::kBatched && n_ch > 0;
+  ChipLinearView view;
+  if (batched) view = chip.linear_view(env_);
+  // soft_response() is ones / trials; with trials fixed across the scan the
+  // quotient takes only trials + 1 distinct values, so precompute them once
+  // (same division, hence the same bits) and pay one table load per cell.
+  // Guarded so a pathological trial count cannot demand a giant table.
+  constexpr std::uint64_t kSoftLutMax = 1u << 20;
+  std::vector<double> soft_lut;
+  if (batched && trials_ <= kSoftLutMax) {
+    soft_lut.resize(trials_ + 1);
+    for (std::uint64_t k = 0; k <= trials_; ++k)
+      soft_lut[k] = static_cast<double>(k) / static_cast<double>(trials_);
+  }
 
   // One base draw keys every (puf, challenge) cell's private stream; each
   // cell's measurement noise is a pure function of (base, cell index).
@@ -52,42 +88,92 @@ ChipSoftScan ChipTester::scan_individual(const XorPufChip& chip,
       n_pufs, std::vector<std::uint8_t>(n_ch, 0));
   // Sharded counter: each worker hits its own cache line, so recording from
   // inside the parallel body is contention-free and the merged total is a
-  // pure function of the workload (never of the thread count).
+  // pure function of the workload (never of the thread count). One add per
+  // chunk keeps even that off the per-cell path.
   static Counter& measurements =
       MetricsRegistry::global().counter("tester.measurements");
   parallel_for(n_ch, kScanChunk,
                [&](std::size_t begin, std::size_t end, std::size_t) {
-                 for (std::size_t c = begin; c < end; ++c) {
+                 if (batched) {
+                   // One GEMM tile for the whole chunk, then per-cell
+                   // binomial draws from the same streams the scalar mode
+                   // uses — the mode changes evaluation cost, not draws.
+                   // thread_local staging: one buffer per worker for the
+                   // whole scan instead of one allocation per chunk.
+                   thread_local std::vector<double> probs;
+                   probs.resize((end - begin) * n_pufs);
+                   view.one_probabilities_into(block, begin, end, probs.data());
+                   // PUF-outer order keeps the soft/stable writes contiguous;
+                   // it cannot change any value because every cell draws from
+                   // its own private stream, keyed by index alone.
                    for (std::size_t p = 0; p < n_pufs; ++p) {
-                     Rng cell_rng = streams.stream(p * n_ch + c);
-                     const SoftMeasurement m = chip.measure_soft_response(
-                         p, challenges[c], env_, trials_, cell_rng);
-                     scan.soft[p][c] = m.soft_response();
-                     stable_bytes[p][c] = m.fully_stable() ? 1 : 0;
-                     measurements.add(1);
+                     double* soft_row = scan.soft[p].data();
+                     std::uint8_t* stable_row = stable_bytes[p].data();
+                     for (std::size_t c = begin; c < end; ++c) {
+                       Rng cell_rng = streams.stream(p * n_ch + c);
+                       const std::uint64_t ones = cell_rng.binomial(
+                           trials_, probs[(c - begin) * n_pufs + p]);
+                       soft_row[c] = soft_lut.empty()
+                                         ? static_cast<double>(ones) /
+                                               static_cast<double>(trials_)
+                                         : soft_lut[ones];
+                       stable_row[c] = (ones == 0 || ones == trials_) ? 1 : 0;
+                     }
+                   }
+                 } else {
+                   for (std::size_t c = begin; c < end; ++c) {
+                     for (std::size_t p = 0; p < n_pufs; ++p) {
+                       Rng cell_rng = streams.stream(p * n_ch + c);
+                       // kScalar IS the per-cell reference path the batched
+                       // mode is benchmarked and golden-tested against.
+                       // xpuf-lint: allow(scalar-eval)
+                       const SoftMeasurement m = chip.measure_soft_response(
+                           p, block.challenge(c), env_, trials_, cell_rng);
+                       scan.soft[p][c] = m.soft_response();
+                       stable_bytes[p][c] = m.fully_stable() ? 1 : 0;
+                     }
                    }
                  }
+                 measurements.add((end - begin) * n_pufs);
                });
   for (std::size_t p = 0; p < n_pufs; ++p)
-    for (std::size_t c = 0; c < n_ch; ++c) scan.stable[p][c] = stable_bytes[p][c] != 0;
-  return scan;
+    scan.stable[p].assign(stable_bytes[p].begin(), stable_bytes[p].end());
 }
 
 std::vector<SoftMeasurement> ChipTester::scan_single(const XorPufChip& chip,
                                                      std::size_t puf_index,
                                                      const std::vector<Challenge>& challenges) {
+  return scan_single(chip, puf_index, FeatureBlock(challenges));
+}
+
+std::vector<SoftMeasurement> ChipTester::scan_single(const XorPufChip& chip,
+                                                     std::size_t puf_index,
+                                                     const FeatureBlock& block) {
   XPUF_TRACE_SPAN("tester.scan_single");
   XPUF_REQUIRE(puf_index < chip.puf_count(), "PUF index out of range");
-  for (const auto& c : challenges)
-    XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
-  std::vector<SoftMeasurement> out(challenges.size());
+  require_block_matches(block, chip);
+  const bool batched = mode_ == ScanMode::kBatched && !block.empty();
+  DeviceLinearView view;
+  if (batched) view = chip.device_linear_view(puf_index, env_);
+  std::vector<SoftMeasurement> out(block.size());
   const StreamFamily streams(rng_.fork_base());
-  parallel_for(challenges.size(), kScanChunk,
+  parallel_for(block.size(), kScanChunk,
                [&](std::size_t begin, std::size_t end, std::size_t) {
-                 for (std::size_t c = begin; c < end; ++c) {
-                   Rng cell_rng = streams.stream(c);
-                   out[c] = chip.measure_soft_response(puf_index, challenges[c], env_,
-                                                       trials_, cell_rng);
+                 if (batched) {
+                   std::vector<double> probs(end - begin);
+                   view.one_probabilities_into(block, begin, end, probs.data());
+                   for (std::size_t c = begin; c < end; ++c) {
+                     Rng cell_rng = streams.stream(c);
+                     out[c] = {cell_rng.binomial(trials_, probs[c - begin]), trials_};
+                   }
+                 } else {
+                   for (std::size_t c = begin; c < end; ++c) {
+                     Rng cell_rng = streams.stream(c);
+                     // Scalar reference mode, as in scan_individual.
+                     // xpuf-lint: allow(scalar-eval)
+                     out[c] = chip.measure_soft_response(puf_index, block.challenge(c),
+                                                         env_, trials_, cell_rng);
+                   }
                  }
                });
   return out;
@@ -95,18 +181,26 @@ std::vector<SoftMeasurement> ChipTester::scan_single(const XorPufChip& chip,
 
 std::vector<bool> ChipTester::sample_xor(const XorPufChip& chip,
                                          const std::vector<Challenge>& challenges) {
+  return sample_xor(chip, FeatureBlock(challenges));
+}
+
+std::vector<bool> ChipTester::sample_xor(const XorPufChip& chip,
+                                         const FeatureBlock& block) {
   XPUF_TRACE_SPAN("tester.sample_xor");
-  for (const auto& c : challenges)
-    XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
+  require_block_matches(block, chip);
   static Counter& samples = MetricsRegistry::global().counter("tester.xor_samples");
-  samples.add(challenges.size());
+  samples.add(block.size());
   const StreamFamily streams(rng_.fork_base());
-  std::vector<std::uint8_t> bits(challenges.size(), 0);
-  parallel_for(challenges.size(), kScanChunk,
+  if (mode_ == ScanMode::kBatched) {
+    const std::vector<std::uint8_t> bits = chip.xor_responses(block, env_, streams);
+    return std::vector<bool>(bits.begin(), bits.end());
+  }
+  std::vector<std::uint8_t> bits(block.size(), 0);
+  parallel_for(block.size(), kScanChunk,
                [&](std::size_t begin, std::size_t end, std::size_t) {
                  for (std::size_t c = begin; c < end; ++c) {
                    Rng cell_rng = streams.stream(c);
-                   bits[c] = chip.xor_response(challenges[c], env_, cell_rng) ? 1 : 0;
+                   bits[c] = chip.xor_response(block.challenge(c), env_, cell_rng) ? 1 : 0;
                  }
                });
   return std::vector<bool>(bits.begin(), bits.end());
@@ -114,17 +208,23 @@ std::vector<bool> ChipTester::sample_xor(const XorPufChip& chip,
 
 std::vector<SoftMeasurement> ChipTester::scan_xor(const XorPufChip& chip,
                                                   const std::vector<Challenge>& challenges) {
+  return scan_xor(chip, FeatureBlock(challenges));
+}
+
+std::vector<SoftMeasurement> ChipTester::scan_xor(const XorPufChip& chip,
+                                                  const FeatureBlock& block) {
   XPUF_TRACE_SPAN("tester.scan_xor");
-  for (const auto& c : challenges)
-    XPUF_REQUIRE(c.size() == chip.stages(), "challenge length != chip stage count");
-  std::vector<SoftMeasurement> out(challenges.size());
+  require_block_matches(block, chip);
   const StreamFamily streams(rng_.fork_base());
-  parallel_for(challenges.size(), kScanChunk,
+  if (mode_ == ScanMode::kBatched)
+    return chip.measure_xor_soft_responses(block, env_, trials_, streams);
+  std::vector<SoftMeasurement> out(block.size());
+  parallel_for(block.size(), kScanChunk,
                [&](std::size_t begin, std::size_t end, std::size_t) {
                  for (std::size_t c = begin; c < end; ++c) {
                    Rng cell_rng = streams.stream(c);
-                   out[c] = chip.measure_xor_soft_response(challenges[c], env_, trials_,
-                                                           cell_rng);
+                   out[c] = chip.measure_xor_soft_response(block.challenge(c), env_,
+                                                           trials_, cell_rng);
                  }
                });
   return out;

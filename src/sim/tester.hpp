@@ -8,6 +8,13 @@
 // draws ONE base value from the tester's stream and derives a private
 // per-measurement child stream keyed by the (puf, challenge) cell index, so
 // scan output is bit-identical for any thread count.
+//
+// Two scan modes share that RNG contract. kBatched (the default) routes
+// noise-free probabilities through the linear-view batch core — one feature
+// block per scan, one GEMM tile per chunk — and draws the binomial counters
+// per cell from the same streams. kScalar is the legacy reference: every
+// cell walks the recursive stage model. Mode changes cost, not draws; see
+// DESIGN.md "Batched evaluation core" for the equivalence contract.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +22,7 @@
 
 #include "common/rng.hpp"
 #include "sim/chip.hpp"
+#include "sim/linear.hpp"
 
 namespace xpuf::sim {
 
@@ -29,14 +37,25 @@ struct ChipSoftScan {
   Environment environment;
 };
 
+/// How a scan turns challenges into noise-free probabilities. Binomial /
+/// arbitration draws are per-cell in both modes, so results agree cell for
+/// cell; only the evaluation cost differs.
+enum class ScanMode {
+  kScalar,   ///< legacy reference: recursive stage walk per (PUF, challenge)
+  kBatched,  ///< linear-view batch core: one GEMM tile per parallel chunk
+};
+
 class ChipTester {
  public:
   /// `trials` is the per-challenge evaluation count K (paper: 100,000).
-  ChipTester(Environment env, std::uint64_t trials, Rng rng);
+  ChipTester(Environment env, std::uint64_t trials, Rng rng,
+             ScanMode mode = ScanMode::kBatched);
 
   const Environment& environment() const { return env_; }
   void set_environment(const Environment& env) { env_ = env; }
   std::uint64_t trials() const { return trials_; }
+  ScanMode mode() const { return mode_; }
+  void set_mode(ScanMode mode) { mode_ = mode; }
 
   /// Generates `count` uniformly random challenges for a chip's stage count.
   std::vector<Challenge> random_challenges(const XorPufChip& chip, std::size_t count);
@@ -45,23 +64,40 @@ class ChipTester {
   /// Requires all enrollment fuses intact.
   ChipSoftScan scan_individual(const XorPufChip& chip,
                                const std::vector<Challenge>& challenges);
+  /// Feature-block overload: callers scanning the same challenge set at
+  /// several corners (the 9-corner enrollment sweeps) build the Phi block
+  /// once and reuse it here — the batched mode never recomputes it.
+  ChipSoftScan scan_individual(const XorPufChip& chip, const FeatureBlock& block);
+  /// Storage-reusing variant for repeated scans (corner sweeps, reliability
+  /// campaigns): writes into `scan`, whose vectors keep their heap blocks
+  /// when the workload shape repeats — the per-scan allocation storm of a
+  /// fresh result (one block per challenge) becomes plain copies. The
+  /// written contents are identical to a fresh scan_individual result.
+  void scan_individual_into(const XorPufChip& chip, const FeatureBlock& block,
+                            ChipSoftScan& scan);
 
   /// Measures soft responses of one individual PUF.
   std::vector<SoftMeasurement> scan_single(const XorPufChip& chip, std::size_t puf_index,
                                            const std::vector<Challenge>& challenges);
+  std::vector<SoftMeasurement> scan_single(const XorPufChip& chip, std::size_t puf_index,
+                                           const FeatureBlock& block);
 
   /// One-shot XOR responses (the deployed-chip view).
   std::vector<bool> sample_xor(const XorPufChip& chip,
                                const std::vector<Challenge>& challenges);
+  std::vector<bool> sample_xor(const XorPufChip& chip, const FeatureBlock& block);
 
   /// XOR soft responses over `trials` evaluations.
   std::vector<SoftMeasurement> scan_xor(const XorPufChip& chip,
                                         const std::vector<Challenge>& challenges);
+  std::vector<SoftMeasurement> scan_xor(const XorPufChip& chip,
+                                        const FeatureBlock& block);
 
  private:
   Environment env_;
   std::uint64_t trials_;
   Rng rng_;
+  ScanMode mode_;
 };
 
 }  // namespace xpuf::sim

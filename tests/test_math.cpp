@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/math.hpp"
@@ -33,6 +34,55 @@ TEST(NormalCdf, FarTailsDoNotSaturateEarly) {
   EXPECT_GT(normal_cdf(-6.0), 0.0);
   EXPECT_NEAR(normal_cdf(-6.0), 9.865876450377018e-10, 1e-15);
   EXPECT_LT(normal_cdf(8.0), 1.0 + 1e-16);
+}
+
+TEST(NormalCdfBatch, BitwiseMatchesScalarAcrossRegimes) {
+  // The batch kernel must be a drop-in for per-element normal_cdf calls:
+  // the equivalence proofs for the batched scan paths rely on bitwise
+  // identity, not closeness, so compare with EXPECT_EQ on the doubles.
+  std::vector<double> xs{0.0,          -0.0,      1.0,    -1.96, 3.0,
+                         -6.0,         8.0,       -37.6,  40.0,  1e-300,
+                         -1e-300,      5e-324,    -5e-324, 0.5,  -0.5,
+                         123.456,      -123.456,  1e300,  -1e300};
+  xs.push_back(std::numeric_limits<double>::infinity());
+  xs.push_back(-std::numeric_limits<double>::infinity());
+  for (int i = -400; i <= 400; ++i) xs.push_back(static_cast<double>(i) / 50.0);
+  std::vector<double> out(xs.size(), -1.0);
+  normal_cdf_batch(xs, out);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_EQ(out[i], normal_cdf(xs[i])) << "x = " << xs[i];
+}
+
+TEST(NormalCdfBatch, InfinitiesAndNanPropagate) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> xs{inf, -inf, std::numeric_limits<double>::quiet_NaN()};
+  std::vector<double> out(3, -1.0);
+  normal_cdf_batch(xs, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_TRUE(std::isnan(out[2]));
+}
+
+TEST(NormalCdfBatch, InPlaceOverSameSpan) {
+  // The chip batch path divides deltas by sigma in place and then runs the
+  // CDF over the same buffer; aliasing input and output must be legal.
+  std::vector<double> buf{-2.0, -1.0, 0.0, 1.0, 2.0};
+  const std::vector<double> ref{normal_cdf(-2.0), normal_cdf(-1.0), normal_cdf(0.0),
+                                normal_cdf(1.0), normal_cdf(2.0)};
+  normal_cdf_batch(buf, buf);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], ref[i]);
+}
+
+TEST(NormalCdfBatch, EmptySpansAreANoOp) {
+  std::vector<double> xs, out;
+  normal_cdf_batch(xs, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(NormalCdfBatch, RejectsLengthMismatch) {
+  std::vector<double> xs{0.0, 1.0};
+  std::vector<double> out(1, 0.0);
+  EXPECT_THROW(normal_cdf_batch(xs, out), std::invalid_argument);
 }
 
 TEST(LogNormalCdf, MatchesLogOfCdfInBulk) {

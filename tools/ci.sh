@@ -3,6 +3,10 @@
 #
 #   release   Release, -DXPUF_WERROR=ON, full ctest (incl. `-L lint`:
 #             xpuf_lint over the tree + .clang-tidy validation)
+#   bench     bench_scan_throughput A/B (scalar vs batched core; the binary
+#             asserts bit-identity, the gate checks the timing JSON and that
+#             batched has not regressed behind scalar —
+#             tools/check_bench_regression.py)
 #   metrics   one bench run with --metrics-out, then a JSON schema check of
 #             the snapshot (tools/check_metrics_schema.py): counters/gauges/
 #             histograms/spans shape, nonzero selection cost, nonzero replay
@@ -96,6 +100,19 @@ service_job() {
     "${prefix}-tsan/tests/test_service"
 }
 
+# Scan-throughput A/B: scalar vs batched evaluation core on the acceptance
+# workload. The binary itself asserts the two modes are bit-identical (and
+# the timed mode thread-count-deterministic); the schema gate then checks
+# the timing artifact and that batched hasn't regressed behind scalar.
+bench_job() {
+  "${prefix}/bench/bench_scan_throughput" --threads 1 &&
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/check_bench_regression.py bench_out/scan_throughput_timing.json
+    else
+      echo "python3 absent; timing check skipped (bench_out/scan_throughput_timing.json)"
+    fi
+}
+
 metrics_job() {
   "${prefix}/bench/bench_tabB_authentication" \
     --challenges 4000 --trials 1000 --chips 1 \
@@ -108,6 +125,7 @@ metrics_job() {
 }
 
 run_job release release_job
+run_job bench bench_job
 run_job metrics metrics_job
 run_job service service_job
 run_job asan asan_job

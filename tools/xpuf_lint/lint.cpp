@@ -37,6 +37,9 @@ const std::vector<RuleInfo> kRules = {
     {"wire-portability",
      "wire codec uses memcpy/type-punning or non-fixed-width integers; serialize "
      "field-by-field with explicit little-endian put_/read_ helpers"},
+    {"scalar-eval",
+     "per-challenge delay_difference/one_probability/measure_soft_response call in a "
+     "protocol hot path; evaluate batches through the FeatureBlock core (sim/linear.hpp)"},
     {"bad-suppression", "xpuf-lint allow comment names a rule that does not exist"},
 };
 
@@ -640,6 +643,26 @@ std::vector<Violation> lint_source(const std::string& rel_path, const std::strin
              "public entry point takes dimensioned parameters but has no XPUF_REQUIRE "
              "precondition check");
     }
+  }
+
+  // scalar-eval: the scan/selection/attack hot paths (src/puf/ plus the
+  // tester) route noise-free evaluation through the batched linear-view
+  // core; a new per-challenge member call re-opens the cell-at-a-time cost
+  // the batch rework removed. Sanctioned per-cell sites — the scalar
+  // reference scan mode, the measurement-based baseline, ground-truth
+  // analysis — carry allow comments stating why.
+  const bool scalar_scope =
+      rel_path == "src/sim/tester.cpp" ||
+      (path_has_prefix(rel_path, "src/puf/") && rel_path.size() > 4 &&
+       rel_path.substr(rel_path.size() - 4) == ".cpp");
+  if (scalar_scope) {
+    static const std::regex scalar_call(
+        R"((\.|->)\s*(delay_difference|one_probability|measure_soft_response)\s*\()");
+    for (std::size_t i = 0; i < code_lines.size(); ++i)
+      if (std::regex_search(code_lines[i], scalar_call))
+        report("scalar-eval", i,
+               "per-challenge scalar evaluation call site; route the batch through the "
+               "FeatureBlock core (sim/linear.hpp)");
   }
 
   // include-order.
