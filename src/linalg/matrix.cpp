@@ -25,6 +25,13 @@ Matrix Matrix::identity(std::size_t n) {
   return m;
 }
 
+void Matrix::append_row(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  XPUF_REQUIRE(row.size() == cols_, "append_row length mismatch");
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r)
@@ -143,13 +150,14 @@ Matrix matmul_nt(const Matrix& a, const Matrix& bt) {
   return c;
 }
 
-Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+Matrix matmul_tn(const Matrix& a, const Matrix& b, std::size_t row_chunk) {
   XPUF_REQUIRE(a.rows() == b.rows(), "matmul_tn shape mismatch");
   const std::size_t n = a.cols();
   const std::size_t p = b.cols();
+  const std::size_t chunk = row_chunk == 0 ? kAccumRowChunk : row_chunk;
   Matrix zero(n, p);
   return parallel_reduce(
-      a.rows(), kAccumRowChunk, zero,
+      a.rows(), chunk, zero,
       [&](Matrix& acc, std::size_t begin, std::size_t end) {
         for (std::size_t r = begin; r < end; ++r) {
           const double* arow = a.row(r);

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "linalg/vector.hpp"
@@ -32,6 +33,25 @@ class Matrix {
   const double* row(std::size_t r) const { return data_.data() + r * cols_; }
 
   const std::vector<double>& raw() const { return data_; }
+
+  /// Appends one row in amortized O(cols) time: the flat storage grows
+  /// geometrically (std::vector push semantics), so building an n-row matrix
+  /// row by row is O(n * cols) total — never the O(n^2) of copy-and-grow.
+  /// The row length must match cols(); an empty 0 x 0 matrix adopts the
+  /// first row's length.
+  void append_row(std::span<const double> row);
+
+  /// Pre-reserves flat storage for `rows` rows (cols() must be known).
+  void reserve_rows(std::size_t rows) { data_.reserve(rows * cols_); }
+
+  /// Reshapes in place to rows x cols. Contents become unspecified; existing
+  /// heap capacity is reused when it suffices (the storage-reusing chunk
+  /// producers lean on this to stop per-chunk allocation churn).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
 
   Matrix transposed() const;
 
@@ -79,8 +99,10 @@ Matrix matmul_nt(const Matrix& a, const Matrix& bt);
 /// (C = sum over rows r of outer(a.row(r), b.row(r))). Rows are sharded
 /// into fixed-size chunks whose partial sums are combined in ascending
 /// chunk order, so the result depends on the chunk grid but never on the
-/// thread count.
-Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// thread count. `row_chunk` overrides the shard size (0 keeps the default
+/// grid); callers that must reproduce a historical partial-sum grid — the
+/// logistic-regression objective's kGradChunk — pass their own.
+Matrix matmul_tn(const Matrix& a, const Matrix& b, std::size_t row_chunk = 0);
 
 /// Gram matrix A^T A (symmetric, computed in the upper triangle and
 /// mirrored) — the normal-equations kernel for least squares.

@@ -29,12 +29,7 @@ Vector& Vector::operator/=(double s) {
   return *this;
 }
 
-double dot(const Vector& a, const Vector& b) {
-  XPUF_REQUIRE(a.size() == b.size(), "dot dimension mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
-}
+double dot(const Vector& a, const Vector& b) { return dot(a.span(), b.span()); }
 
 double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
 

@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace xpuf::linalg {
 
 class Vector {
@@ -45,6 +47,11 @@ class Vector {
   void resize(std::size_t n, double fill = 0.0) { data_.resize(n, fill); }
   void fill(double v) { data_.assign(data_.size(), v); }
 
+  /// Amortized O(1) append (std::vector geometric growth underneath) — the
+  /// building block for incrementally assembled targets (ml::Dataset::add).
+  void push_back(double v) { data_.push_back(v); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
   // Element-wise arithmetic. Dimension mismatches throw via XPUF_REQUIRE.
   Vector& operator+=(const Vector& rhs);
   Vector& operator-=(const Vector& rhs);
@@ -62,6 +69,20 @@ class Vector {
  private:
   std::vector<double> data_;
 };
+
+/// Ascending-index dot product over raw spans — THE shared row-wise kernel.
+/// Every scalar forward pass in the tree (regression predicts, PUF model
+/// evaluation, linear-view delays, attack objectives) routes through this
+/// one loop, so they all share the exact accumulation order of the GEMM
+/// kernels (matmul_nt / matvec accumulate each output element the same way)
+/// and batch-vs-scalar equivalence stays a bit-level claim. Inline so hot
+/// loops pay no cross-TU call.
+inline double dot(std::span<const double> a, std::span<const double> b) {
+  XPUF_REQUIRE(a.size() == b.size(), "dot dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
 
 /// Dot product; dimensions must match.
 double dot(const Vector& a, const Vector& b);

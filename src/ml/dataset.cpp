@@ -11,15 +11,15 @@ void Dataset::add(std::span<const double> features_row, double target) {
     x = linalg::Matrix(0, features_row.size());
   }
   XPUF_REQUIRE(features_row.size() == x.cols(), "Dataset::add feature-count mismatch");
-  linalg::Matrix grown(x.rows() + 1, x.cols());
-  for (std::size_t r = 0; r < x.rows(); ++r)
-    for (std::size_t c = 0; c < x.cols(); ++c) grown(r, c) = x(r, c);
-  for (std::size_t c = 0; c < x.cols(); ++c) grown(x.rows(), c) = features_row[c];
-  x = std::move(grown);
-  linalg::Vector ty(y.size() + 1);
-  for (std::size_t i = 0; i < y.size(); ++i) ty[i] = y[i];
-  ty[y.size()] = target;
-  y = std::move(ty);
+  x.append_row(features_row);
+  y.push_back(target);
+}
+
+void Dataset::reserve(std::size_t n_samples, std::size_t n_features) {
+  if (x.rows() == 0 && x.cols() == 0) x = linalg::Matrix(0, n_features);
+  XPUF_REQUIRE(n_features == x.cols(), "Dataset::reserve feature-count mismatch");
+  x.reserve_rows(n_samples);
+  y.reserve(n_samples);
 }
 
 Dataset Dataset::subset(std::span<const std::size_t> indices) const {

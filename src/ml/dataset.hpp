@@ -22,8 +22,14 @@ struct Dataset {
   std::size_t features() const { return x.cols(); }
   bool empty() const { return x.rows() == 0; }
 
-  /// Appends one sample; the first append fixes the feature count.
+  /// Appends one sample in amortized O(n_features); the first append fixes
+  /// the feature count.
   void add(std::span<const double> features_row, double target);
+
+  /// Pre-reserves storage for n_samples rows of n_features each, fixing the
+  /// feature count if the dataset is still empty. Optional — add() already
+  /// grows geometrically — but avoids growth copies when the count is known.
+  void reserve(std::size_t n_samples, std::size_t n_features);
 
   /// Returns the subset given by row indices (copies).
   Dataset subset(std::span<const std::size_t> indices) const;

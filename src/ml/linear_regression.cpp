@@ -33,9 +33,9 @@ double LinearRegression::predict(std::span<const double> features) const {
   XPUF_REQUIRE(fitted(), "LinearRegression::predict before fit");
   XPUF_REQUIRE(features.size() == coefficients_.size(),
                "LinearRegression feature-count mismatch");
-  double s = intercept_;
-  for (std::size_t i = 0; i < features.size(); ++i) s += coefficients_[i] * features[i];
-  return s;
+  // intercept added after the dot, matching the batched overload below so
+  // the two predict paths agree bit for bit.
+  return intercept_ + linalg::dot(coefficients_.span(), features);
 }
 
 linalg::Vector LinearRegression::predict(const linalg::Matrix& x) const {

@@ -13,14 +13,50 @@ namespace xpuf::ml {
 
 namespace {
 // Rows per gradient shard; fixed so the partial-sum grid (and the result
-// bits) never depends on the thread count.
+// bits) never depends on the thread count. The GEMM-backed gradient below
+// passes this same grid to matmul_tn, so the partial sums it combines are
+// the ones the historical scalar objective produced.
 constexpr std::size_t kGradChunk = 512;
 
-/// Per-shard accumulator for the deterministic parallel reduction.
-struct LossGrad {
-  double loss = 0.0;
-  linalg::Vector grad;
-};
+// Mean cross-entropy with L2 penalty. The objective is three batched
+// passes instead of one scalar row loop:
+//   z    = X w          via matmul_nt   (each z_r is the same ascending-c
+//                                        dot the scalar loop computed)
+//   loss, err_r = (sigmoid(z_r) - t_r)/n   in kGradChunk row shards
+//   grad = X^T err      via matmul_tn on the same kGradChunk grid, so the
+//                       partial-sum tree matches the scalar objective's
+//                       shard accumulation bit for bit at any thread count.
+// `wrow` and `err` are caller-owned scratch so L-BFGS's repeated
+// evaluations do not reallocate the n-row error column.
+double lr_objective(const Dataset& data, double l2, const linalg::Vector& w,
+                    linalg::Vector& grad, linalg::Matrix& wrow, linalg::Matrix& err) {
+  const std::size_t n = data.size();
+  const std::size_t d = data.features();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t c = 0; c < d; ++c) wrow(0, c) = w[c];
+  const linalg::Matrix z = linalg::matmul_nt(data.x, wrow);
+  double total_loss = parallel_reduce(
+      n, kGradChunk, 0.0,
+      [&](double& acc, std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const double zr = z(r, 0);
+          const double t = data.y[r] >= 0.5 ? 1.0 : 0.0;
+          // log(1 + exp(-z)) for t=1, log(1 + exp(z)) for t=0, via softplus.
+          acc += t > 0.5 ? softplus(-zr) : softplus(zr);
+          err(r, 0) = (sigmoid(zr) - t) * inv_n;
+        }
+      },
+      [](double& acc, double&& part) { acc += part; });
+  const linalg::Matrix g = linalg::matmul_tn(err, data.x, kGradChunk);
+  double loss = total_loss * inv_n;
+  grad = linalg::Vector(d);
+  for (std::size_t c = 0; c < d; ++c) grad[c] = g(0, c);
+  for (std::size_t c = 0; c < d; ++c) {
+    loss += 0.5 * l2 * w[c] * w[c];
+    grad[c] += l2 * w[c];
+  }
+  return loss;
+}
 }  // namespace
 
 LbfgsResult LogisticRegression::fit(const Dataset& data) {
@@ -28,40 +64,13 @@ LbfgsResult LogisticRegression::fit(const Dataset& data) {
   XPUF_REQUIRE(!data.empty(), "LogisticRegression::fit on empty dataset");
   const std::size_t n = data.size();
   const std::size_t d = data.features();
-  const double inv_n = 1.0 / static_cast<double>(n);
 
-  // Mean cross-entropy with L2 penalty; the gradient is accumulated in
-  // fixed row shards across the thread pool and the shard partials are
-  // combined in ascending order, so the objective is bit-identical for any
-  // thread count.
+  // Scratch hoisted out of the objective; see lr_objective for the math and
+  // the bit-identity contract.
+  linalg::Matrix wrow(1, d);
+  linalg::Matrix err(n, 1);
   Objective obj = [&](const linalg::Vector& w, linalg::Vector& grad) {
-    LossGrad zero;
-    zero.grad = linalg::Vector(d);
-    LossGrad total = parallel_reduce(
-        n, kGradChunk, zero,
-        [&](LossGrad& acc, std::size_t begin, std::size_t end) {
-          for (std::size_t r = begin; r < end; ++r) {
-            const double* row = data.x.row(r);
-            double z = 0.0;
-            for (std::size_t c = 0; c < d; ++c) z += row[c] * w[c];
-            const double t = data.y[r] >= 0.5 ? 1.0 : 0.0;
-            // log(1 + exp(-z)) for t=1, log(1 + exp(z)) for t=0, via softplus.
-            acc.loss += t > 0.5 ? softplus(-z) : softplus(z);
-            const double err = (sigmoid(z) - t) * inv_n;
-            for (std::size_t c = 0; c < d; ++c) acc.grad[c] += err * row[c];
-          }
-        },
-        [](LossGrad& acc, LossGrad&& part) {
-          acc.loss += part.loss;
-          acc.grad += part.grad;
-        });
-    double loss = total.loss * inv_n;
-    grad = std::move(total.grad);
-    for (std::size_t c = 0; c < d; ++c) {
-      loss += 0.5 * options_.l2 * w[c] * w[c];
-      grad[c] += options_.l2 * w[c];
-    }
-    return loss;
+    return lr_objective(data, options_.l2, w, grad, wrow, err);
   };
 
   LbfgsResult res = minimize_lbfgs(obj, linalg::Vector(d), options_.lbfgs);
@@ -74,13 +83,21 @@ LbfgsResult LogisticRegression::fit(const Dataset& data) {
   return res;
 }
 
+double LogisticRegression::objective(const Dataset& data, const linalg::Vector& w,
+                                     linalg::Vector& grad) const {
+  XPUF_REQUIRE(!data.empty(), "LogisticRegression::objective on empty dataset");
+  XPUF_REQUIRE(w.size() == data.features(),
+               "LogisticRegression::objective weight-count mismatch");
+  linalg::Matrix wrow(1, data.features());
+  linalg::Matrix err(data.size(), 1);
+  return lr_objective(data, options_.l2, w, grad, wrow, err);
+}
+
 double LogisticRegression::predict_probability(std::span<const double> features) const {
   XPUF_REQUIRE(fitted(), "LogisticRegression::predict before fit");
   XPUF_REQUIRE(features.size() == weights_.size(),
                "LogisticRegression feature-count mismatch");
-  double z = 0.0;
-  for (std::size_t i = 0; i < features.size(); ++i) z += weights_[i] * features[i];
-  return sigmoid(z);
+  return sigmoid(linalg::dot(weights_.span(), features));
 }
 
 double LogisticRegression::predict(std::span<const double> features) const {

@@ -24,6 +24,13 @@ class LogisticRegression {
   /// Fits to 0/1 targets; returns the optimizer result for diagnostics.
   LbfgsResult fit(const Dataset& data);
 
+  /// The training objective at `w`: mean cross-entropy + L2 penalty, with
+  /// the gradient written into `grad`. This is exactly the function fit()
+  /// minimizes (GEMM-backed, fixed shard grid), exposed so tests can pin its
+  /// value and gradient against a scalar reference implementation.
+  double objective(const Dataset& data, const linalg::Vector& w,
+                   linalg::Vector& grad) const;
+
   /// P(label == 1 | features).
   double predict_probability(std::span<const double> features) const;
 

@@ -1,0 +1,82 @@
+#include "ml/streaming.hpp"
+
+#include "common/error.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/vector.hpp"
+
+namespace xpuf::ml {
+
+StreamingNormalEquations::StreamingNormalEquations(std::size_t features,
+                                                   std::size_t targets)
+    : features_(features),
+      targets_(targets),
+      g_(features, features),
+      xty_(targets, std::vector<double>(features, 0.0)),
+      sum_y_(targets, 0.0) {
+  XPUF_REQUIRE(features > 0, "streaming fit needs at least one feature");
+  XPUF_REQUIRE(targets > 0, "streaming fit needs at least one target");
+}
+
+void StreamingNormalEquations::accumulate(
+    const linalg::Matrix& phi, std::span<const std::vector<double>> chunk_targets) {
+  XPUF_REQUIRE(phi.cols() == features_, "streaming accumulate: feature mismatch");
+  XPUF_REQUIRE(chunk_targets.size() == targets_, "streaming accumulate: target mismatch");
+  const std::size_t n = phi.rows();
+  for (std::size_t t = 0; t < targets_; ++t)
+    XPUF_REQUIRE(chunk_targets[t].size() == n, "streaming accumulate: row mismatch");
+
+  // Gram contribution — the exact loop body of linalg::gram(), restricted to
+  // this chunk's rows. Upper triangle only; mirrored once at solve time.
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* row = phi.row(r);
+    for (std::size_t i = 0; i < features_; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < features_; ++j) g_(i, j) += ri * row[j];
+    }
+  }
+
+  // X^T y contributions — the exact loop body of linalg::matvec_transposed(),
+  // restricted to this chunk's rows, once per target.
+  for (std::size_t t = 0; t < targets_; ++t) {
+    const std::vector<double>& yt = chunk_targets[t];
+    double* acc = xty_[t].data();
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* row = phi.row(r);
+      const double yr = yt[r];
+      for (std::size_t c = 0; c < features_; ++c) acc[c] += row[c] * yr;
+    }
+    double s = sum_y_[t];
+    for (std::size_t r = 0; r < n; ++r) s += yt[r];
+    sum_y_[t] = s;
+  }
+
+  rows_ += n;
+}
+
+linalg::Matrix StreamingNormalEquations::solve(double ridge) const {
+  XPUF_REQUIRE(rows_ >= features_, "streaming fit: underdetermined system");
+  linalg::Matrix g = g_;
+  for (std::size_t i = 0; i < features_; ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  if (ridge > 0.0)
+    for (std::size_t i = 0; i < features_; ++i) g(i, i) += ridge;
+
+  const linalg::Cholesky chol(g);
+  linalg::Matrix w(targets_, features_);
+  linalg::Vector rhs(features_);
+  for (std::size_t t = 0; t < targets_; ++t) {
+    for (std::size_t c = 0; c < features_; ++c) rhs[c] = xty_[t][c];
+    const linalg::Vector wt = chol.solve(rhs);
+    for (std::size_t c = 0; c < features_; ++c) w(t, c) = wt[c];
+  }
+  return w;
+}
+
+double StreamingNormalEquations::target_mean(std::size_t t) const {
+  XPUF_REQUIRE(t < targets_, "target_mean: index out of range");
+  XPUF_REQUIRE(rows_ > 0, "target_mean: no rows accumulated");
+  return sum_y_[t] / static_cast<double>(rows_);
+}
+
+}  // namespace xpuf::ml

@@ -1,0 +1,72 @@
+// Streaming normal-equations accumulator: the O(d^2)-memory core of the
+// fixed-memory enrollment pipeline.
+//
+// The materialized path (ml::LinearRegression over a fully built Dataset)
+// computes W = (X^T X + ridge I)^{-1} X^T y after holding all n rows of X in
+// RAM. This accumulator consumes X in row chunks and keeps only
+//
+//   G   = X^T X      (d x d, upper triangle accumulated, mirrored on solve)
+//   Xty = X^T y_t    (d per target)
+//   sum(y_t), n      (for target means / R^2 bookkeeping)
+//
+// so memory is O(d^2 + d * targets) regardless of n. Accumulation is
+// bit-identical to the one-shot kernels for ANY chunk partition: gram() and
+// matvec_transposed() both walk rows in ascending order and add one term per
+// row into each output element, so splitting the row range into chunks
+// changes nothing about the per-element addition order. Feeding chunks in
+// ascending row order therefore reproduces the materialized G and Xty to the
+// last bit, and the shared Cholesky solve reproduces the materialized
+// coefficients to the last bit.
+//
+// Multiple targets share one G and one Cholesky factorization — this is the
+// main arithmetic saving over per-PUF materialized fits, which redo the
+// O(n d^2) gram per target.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace xpuf::ml {
+
+/// Per-chunk accumulator for ridge least squares over a shared design matrix
+/// with `targets` independent right-hand sides.
+class StreamingNormalEquations {
+ public:
+  StreamingNormalEquations(std::size_t features, std::size_t targets);
+
+  std::size_t features() const { return features_; }
+  std::size_t targets() const { return targets_; }
+  std::size_t rows() const { return rows_; }
+
+  /// Folds one chunk into the accumulator. `phi` holds the chunk's rows of
+  /// the design matrix; `chunk_targets[t]` holds the matching rows of target
+  /// t. Chunks must arrive in ascending global row order (the bit-identity
+  /// contract above); each call is O(chunk_rows * d^2).
+  void accumulate(const linalg::Matrix& phi,
+                  std::span<const std::vector<double>> chunk_targets);
+
+  /// Solves (G + ridge I) w_t = Xty_t for every target via ONE Cholesky
+  /// factorization, returning a targets x features coefficient matrix.
+  /// Requires rows() >= features() (same underdetermined guard as
+  /// solve_least_squares). Throws linalg::NumericalError if the regularized
+  /// Gram matrix is not positive definite — the streaming path has no QR
+  /// fallback because the design matrix is gone.
+  linalg::Matrix solve(double ridge) const;
+
+  /// Mean of target t over all accumulated rows (ascending-order sum, the
+  /// same order finish() in least_squares.cpp uses for mean_b).
+  double target_mean(std::size_t t) const;
+
+ private:
+  std::size_t features_;
+  std::size_t targets_;
+  std::size_t rows_ = 0;
+  linalg::Matrix g_;                       // upper triangle of X^T X
+  std::vector<std::vector<double>> xty_;   // per-target X^T y
+  std::vector<double> sum_y_;              // per-target running sum
+};
+
+}  // namespace xpuf::ml

@@ -168,9 +168,7 @@ double xor_lr_objective(const ml::Dataset& data, std::size_t n_pufs,
           const double* row = data.x.row(r);
           double z = 1.0;
           for (std::size_t p = 0; p < n_pufs; ++p) {
-            const double* w = params.data() + p * d;
-            double s = 0.0;
-            for (std::size_t c = 0; c < d; ++c) s += w[c] * row[c];
+            const double s = linalg::dot({params.data() + p * d, d}, {row, d});
             delta[p] = s;
             z *= s;
           }
@@ -240,12 +238,8 @@ AttackResult run_lr_xor_attack(const AttackDataset& data, const LrXorAttackConfi
     for (std::size_t r = 0; r < set.size(); ++r) {
       const double* row = set.x.row(r);
       double z = 1.0;
-      for (std::size_t p = 0; p < n_pufs; ++p) {
-        const double* w = best.data() + p * d;
-        double s = 0.0;
-        for (std::size_t c = 0; c < d; ++c) s += w[c] * row[c];
-        z *= s;
-      }
+      for (std::size_t p = 0; p < n_pufs; ++p)
+        z *= linalg::dot({best.data() + p * d, d}, {row, d});
       if ((z > 0.0) == (set.y[r] >= 0.5)) ++hits;
     }
     return static_cast<double>(hits) / static_cast<double>(set.size());

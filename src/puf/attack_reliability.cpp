@@ -43,9 +43,7 @@ struct ReliabilityObjective {
     std::vector<double> margin(n);
     double rms = 0.0;
     for (std::size_t r = 0; r < n; ++r) {
-      const double* row = phi.row(r);
-      double s = 0.0;
-      for (std::size_t c = 0; c < dim; ++c) s += row[c] * cand[c];
+      const double s = linalg::dot({phi.row(r), dim}, cand.span());
       margin[r] = std::fabs(s);
       rms += s * s;
     }

@@ -1,8 +1,12 @@
 #include "puf/enrollment.hpp"
 
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "ml/dataset.hpp"
+#include "ml/streaming.hpp"
 
 namespace xpuf::puf {
 
@@ -109,6 +113,82 @@ std::vector<std::uint8_t> ServerModel::predict_xor_batch(const FeatureBlock& blo
 }
 
 ServerModel Enroller::enroll(const sim::XorPufChip& chip, Rng& rng) const {
+  XPUF_TRACE_SPAN("puf.enroll_stream");
+  sim::ChipTester tester(config_.environment, config_.trials, rng.fork());
+  const std::size_t n_pufs = chip.puf_count();
+  const std::size_t features = chip.stages() + 1;
+  sim::ChipScanStream stream = tester.stream_individual(
+      chip, config_.training_challenges, config_.chunk_challenges);
+  XPUF_REQUIRE(stream.total() > 0, "enrollment needs at least one challenge");
+
+  // Pass 1: one measurement sweep accumulates the shared Gram matrix and
+  // every PUF's X^T y in O(features^2) memory. One Cholesky then solves all
+  // n_pufs regressions — the materialized path redoes the O(n d^2) Gram per
+  // PUF, which is where the streaming speedup comes from.
+  ml::StreamingNormalEquations normal(features, n_pufs);
+  sim::ScanChunk chunk;
+  Timer fit_timer;
+  double fit_ms = 0.0;
+  while (stream.next(chunk)) {
+    fit_timer.reset();
+    normal.accumulate(chunk.block.phi(), chunk.soft);
+    fit_ms += fit_timer.millis();
+  }
+  fit_timer.reset();
+  const linalg::Matrix weights = normal.solve(config_.ridge);
+  fit_ms += fit_timer.millis();
+  // Per-PUF share of the shared accumulate + solve work; the materialized
+  // path's fit_time_ms is per-PUF too.
+  const double fit_ms_per_puf = fit_ms / static_cast<double>(n_pufs);
+
+  // Pass 2: replay the identical chunks (reset() rewinds the challenge
+  // generator; measurements are pure functions of the cell index) to derive
+  // thresholds and R^2 against the fitted weights. Predictions go through
+  // matmul_nt, whose per-element accumulation order equals the materialized
+  // path's matvec; rss/tss accumulate in ascending row order, so both
+  // diagnostics reproduce the materialized values bit for bit.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> thr0(n_pufs, inf);
+  std::vector<double> thr1(n_pufs, -inf);
+  std::vector<double> rss(n_pufs, 0.0);
+  std::vector<double> tss(n_pufs, 0.0);
+  std::vector<double> mean(n_pufs, 0.0);
+  for (std::size_t p = 0; p < n_pufs; ++p) mean[p] = normal.target_mean(p);
+  stream.reset();
+  while (stream.next(chunk)) {
+    const linalg::Matrix pred = linalg::matmul_nt(chunk.block.phi(), weights);
+    for (std::size_t p = 0; p < n_pufs; ++p) {
+      const std::vector<double>& soft = chunk.soft[p];
+      for (std::size_t r = 0; r < pred.rows(); ++r) {
+        const double pr = pred(r, p);
+        const double y = soft[r];
+        if (y > 0.0 && pr < thr0[p]) thr0[p] = pr;
+        if (y < 1.0 && pr > thr1[p]) thr1[p] = pr;
+        const double e = pr - y;
+        rss[p] += e * e;
+        const double d = y - mean[p];
+        tss[p] += d * d;
+      }
+    }
+  }
+
+  std::vector<PufEnrollment> pufs;
+  pufs.reserve(n_pufs);
+  for (std::size_t p = 0; p < n_pufs; ++p) {
+    linalg::Vector w(features);
+    for (std::size_t c = 0; c < features; ++c) w[c] = weights(p, c);
+    PufEnrollment e;
+    e.model = ArbiterPufModel(std::move(w));
+    e.thresholds = finalize_thresholds(thr0[p], thr1[p]);
+    e.train_r_squared = tss[p] > 0.0 ? 1.0 - rss[p] / tss[p] : 0.0;
+    e.fit_time_ms = fit_ms_per_puf;
+    pufs.push_back(std::move(e));
+  }
+  return ServerModel(chip.id(), std::move(pufs));
+}
+
+ServerModel Enroller::enroll_materialized(const sim::XorPufChip& chip, Rng& rng) const {
+  XPUF_TRACE_SPAN("puf.enroll_materialized");
   sim::ChipTester tester(config_.environment, config_.trials, rng.fork());
   // Build the feature block once: the scan's batched evaluation and the
   // per-PUF regressions below share the same Phi matrix.

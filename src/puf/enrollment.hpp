@@ -100,6 +100,10 @@ struct EnrollmentConfig {
   std::uint64_t trials = 10'000;           ///< counter evaluations per CRP
   sim::Environment environment = sim::Environment::nominal();
   double ridge = 0.0;  ///< regression regularization (0 = plain OLS)
+  /// Challenges per streaming scan chunk: the working-set knob of enroll().
+  /// Any value >= 1 yields bit-identical results; it only trades memory
+  /// against per-chunk overhead.
+  std::size_t chunk_challenges = 4096;
 };
 
 /// Runs the full enrollment of Fig 6 against a chip with intact fuses:
@@ -112,8 +116,19 @@ class Enroller {
 
   const EnrollmentConfig& config() const { return config_; }
 
-  /// Enrolls a chip, deriving the training challenges from `rng`.
+  /// Enrolls a chip, deriving the training challenges from `rng`. Streams
+  /// the scan in config().chunk_challenges-sized chunks and accumulates
+  /// normal equations per chunk, so memory stays O(chunk + features^2)
+  /// regardless of training_challenges — while the returned model is
+  /// bit-identical to enroll_materialized (see DESIGN.md "Streaming
+  /// enrollment" for the argument).
   ServerModel enroll(const sim::XorPufChip& chip, Rng& rng) const;
+
+  /// The historical whole-scan path: materialize every challenge and
+  /// measurement, then fit per PUF. Kept as the reference the streaming
+  /// path is benchmarked and equivalence-tested against; consumes `rng`
+  /// exactly as enroll() does and returns the identical model.
+  ServerModel enroll_materialized(const sim::XorPufChip& chip, Rng& rng) const;
 
   /// Enrolls from an existing soft-response scan (used when the same
   /// measurement set feeds several analyses).

@@ -25,9 +25,7 @@ double ArbiterPufModel::predict_raw(const Challenge& challenge) const {
 double ArbiterPufModel::predict_raw(std::span<const double> phi) const {
   XPUF_REQUIRE(!empty(), "predict on an empty model");
   XPUF_REQUIRE(phi.size() == weights_.size(), "feature length mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < phi.size(); ++i) s += weights_[i] * phi[i];
-  return s;
+  return linalg::dot(weights_.span(), phi);
 }
 
 bool ArbiterPufModel::predict_response(const Challenge& challenge) const {

@@ -19,6 +19,12 @@ ThresholdPair derive_thresholds(std::span<const double> predicted,
     if (measured[i] > 0.0 && predicted[i] < thr0) thr0 = predicted[i];
     if (measured[i] < 1.0 && predicted[i] > thr1) thr1 = predicted[i];
   }
+  return finalize_thresholds(thr0, thr1);
+}
+
+// Raw extrema carry their own "absent" encoding (infinities), so every input
+// is legal.  xpuf-lint: allow(require-guard)
+ThresholdPair finalize_thresholds(double thr0, double thr1) {
   // Degenerate training sets (all measured stable on one side) fall back to
   // the 0.5 center — the most conservative classification boundary.
   if (!(thr0 < std::numeric_limits<double>::infinity())) thr0 = 0.5;

@@ -49,6 +49,13 @@ struct ThresholdPair {
 ThresholdPair derive_thresholds(std::span<const double> predicted,
                                 std::span<const double> measured);
 
+/// Degenerate-case handling shared by derive_thresholds and the streaming
+/// enrollment accumulator: takes the raw extrema (thr0 = min prediction with
+/// measured flips toward '1', +inf if none; thr1 = max prediction with flips
+/// toward '0', -inf if none) and collapses missing or crossed thresholds to
+/// the conservative 0.5 center.
+ThresholdPair finalize_thresholds(double thr0, double thr1);
+
 /// Counts of each class over a prediction set.
 struct ClassCounts {
   std::size_t stable0 = 0;

@@ -46,14 +46,29 @@ FeatureBlock::FeatureBlock(std::vector<Challenge> challenges)
   }
 }
 
+// Same empty-block contract as the constructor.
+// xpuf-lint: allow(require-guard)
+void FeatureBlock::assign(const std::vector<Challenge>& challenges) {
+  challenges_ = challenges;
+  if (challenges_.empty()) {
+    stages_ = 0;
+    phi_.resize(0, 0);
+    return;
+  }
+  stages_ = challenges_.front().size();
+  XPUF_REQUIRE(stages_ > 0, "feature block of zero-stage challenges");
+  phi_.resize(challenges_.size(), stages_ + 1);
+  for (std::size_t r = 0; r < challenges_.size(); ++r) {
+    XPUF_REQUIRE(challenges_[r].size() == stages_, "mixed challenge lengths in batch");
+    feature_fill(challenges_[r], phi_.row(r));
+  }
+}
+
 double DeviceLinearView::delay(std::span<const double> phi) const {
   XPUF_REQUIRE(phi.size() == weights.size(), "feature length mismatch");
-  // Ascending dot — the exact accumulation order matmul_nt/matvec use per
+  // linalg::dot is the ascending-order accumulation matmul_nt/matvec use per
   // output element, which is what makes batch == scalar a bit-level claim.
-  const double* w = weights.data();
-  double s = 0.0;
-  for (std::size_t i = 0; i < phi.size(); ++i) s += w[i] * phi[i];
-  return s;
+  return linalg::dot(weights.span(), phi);
 }
 
 double DeviceLinearView::one_probability(std::span<const double> phi) const {

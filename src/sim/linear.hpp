@@ -55,6 +55,12 @@ class FeatureBlock {
   FeatureBlock() = default;
   explicit FeatureBlock(std::vector<Challenge> challenges);
 
+  /// Rebuilds the block in place from a new challenge batch, reusing the
+  /// existing challenge and Phi storage when capacity suffices. This is the
+  /// zero-allocation refill the streaming scan producer performs once per
+  /// chunk (after the first chunk warms the buffers).
+  void assign(const std::vector<Challenge>& challenges);
+
   std::size_t size() const { return challenges_.size(); }
   bool empty() const { return challenges_.empty(); }
   /// Stage count k (0 for an empty block).

@@ -1,5 +1,7 @@
 #include "sim/tester.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
@@ -16,6 +18,22 @@ constexpr std::size_t kScanChunk = 64;
 void require_block_matches(const FeatureBlock& block, const XorPufChip& chip) {
   XPUF_REQUIRE(block.empty() || block.stages() == chip.stages(),
                "challenge length != chip stage count");
+}
+
+// soft_response() is ones / trials; with trials fixed the quotient takes only
+// trials + 1 distinct values, so precompute them once (same division, hence
+// the same bits). Guarded so a pathological trial count cannot demand a giant
+// table; an empty result means "divide per cell".
+constexpr std::uint64_t kSoftLutMax = 1u << 20;
+
+std::vector<double> build_soft_lut(std::uint64_t trials) {
+  std::vector<double> lut;
+  if (trials <= kSoftLutMax) {
+    lut.resize(trials + 1);
+    for (std::uint64_t k = 0; k <= trials; ++k)
+      lut[k] = static_cast<double>(k) / static_cast<double>(trials);
+  }
+  return lut;
 }
 }  // namespace
 
@@ -67,17 +85,8 @@ void ChipTester::scan_individual_into(const XorPufChip& chip, const FeatureBlock
   const bool batched = mode_ == ScanMode::kBatched && n_ch > 0;
   ChipLinearView view;
   if (batched) view = chip.linear_view(env_);
-  // soft_response() is ones / trials; with trials fixed across the scan the
-  // quotient takes only trials + 1 distinct values, so precompute them once
-  // (same division, hence the same bits) and pay one table load per cell.
-  // Guarded so a pathological trial count cannot demand a giant table.
-  constexpr std::uint64_t kSoftLutMax = 1u << 20;
   std::vector<double> soft_lut;
-  if (batched && trials_ <= kSoftLutMax) {
-    soft_lut.resize(trials_ + 1);
-    for (std::uint64_t k = 0; k <= trials_; ++k)
-      soft_lut[k] = static_cast<double>(k) / static_cast<double>(trials_);
-  }
+  if (batched) soft_lut = build_soft_lut(trials_);
 
   // One base draw keys every (puf, challenge) cell's private stream; each
   // cell's measurement noise is a pure function of (base, cell index).
@@ -138,6 +147,116 @@ void ChipTester::scan_individual_into(const XorPufChip& chip, const FeatureBlock
                });
   for (std::size_t p = 0; p < n_pufs; ++p)
     scan.stable[p].assign(stable_bytes[p].begin(), stable_bytes[p].end());
+}
+
+ChipScanStream::ChipScanStream(const XorPufChip& chip, const Environment& env,
+                               std::uint64_t trials, ScanMode mode, std::size_t total,
+                               std::size_t chunk, Rng& tester_rng)
+    : chip_(&chip),
+      env_(env),
+      trials_(trials),
+      mode_(mode),
+      total_(total),
+      chunk_(chunk),
+      challenge_rng_(tester_rng) {
+  XPUF_REQUIRE(chunk >= 1, "scan stream needs a chunk size of at least one");
+  challenge_rng_start_ = challenge_rng_;
+  // Pre-roll: advance the tester's generator past exactly the draws the
+  // materialized path's challenge generation would consume (one u64 per
+  // challenge bit), so the base draw below lands on the same state
+  // scan_individual's fork_base() would see — and the tester continues from
+  // the same state afterwards. O(1) memory; the drawn bits are regenerated
+  // chunk by chunk from the saved copy.
+  const std::size_t stages = chip.stages();
+  for (std::size_t i = 0; i < total * stages; ++i) tester_rng.next_u64();
+  base_ = tester_rng.fork_base();
+  if (mode_ == ScanMode::kBatched) {
+    // Materializing the linear view also performs the per-tap access check a
+    // deployed chip must fail — at stream construction, not first use.
+    view_ = chip.linear_view(env_);
+    soft_lut_ = build_soft_lut(trials_);
+  }
+}
+
+void ChipScanStream::reset() {
+  challenge_rng_ = challenge_rng_start_;
+  position_ = 0;
+}
+
+// Exhaustion is the normal return path, not an error.
+// xpuf-lint: allow(require-guard)
+bool ChipScanStream::next(ScanChunk& chunk) {
+  if (position_ >= total_) return false;
+  XPUF_TRACE_SPAN("tester.scan_stream_chunk");
+  const std::size_t begin_global = position_;
+  const std::size_t m = std::min(chunk_, total_ - position_);
+  const std::size_t stages = chip_->stages();
+  const std::size_t n_pufs = chip_->puf_count();
+
+  // Regenerate this chunk's challenges from the saved generator copy; the
+  // draw sequence is the materialized path's, just consumed lazily.
+  challenge_buf_.resize(m);
+  for (std::size_t i = 0; i < m; ++i)
+    random_challenge_into(challenge_buf_[i], stages, challenge_rng_);
+  chunk.offset = begin_global;
+  chunk.block.assign(challenge_buf_);
+
+  chunk.soft.resize(n_pufs);
+  for (auto& row : chunk.soft) row.resize(m);
+  chunk.stable.resize(n_pufs);
+  for (auto& row : chunk.stable) row.resize(m);
+
+  // Same cell streams as scan_individual over the full scan: cell (p, c) is
+  // keyed by p * total + c regardless of how rows are chunked, so every
+  // measurement is a pure function of (base, cell) — chunking and thread
+  // count change nothing.
+  const StreamFamily streams(base_);
+  static Counter& measurements =
+      MetricsRegistry::global().counter("tester.measurements");
+  const bool batched = mode_ == ScanMode::kBatched;
+  parallel_for(m, kScanChunk, [&](std::size_t begin, std::size_t end, std::size_t) {
+    if (batched) {
+      thread_local std::vector<double> probs;
+      probs.resize((end - begin) * n_pufs);
+      view_.one_probabilities_into(chunk.block, begin, end, probs.data());
+      for (std::size_t p = 0; p < n_pufs; ++p) {
+        double* soft_row = chunk.soft[p].data();
+        // ScanChunk::stable rows are std::uint8_t (not the packed-bit
+        // vector<bool> the rule names).  xpuf-lint: allow(vector-bool-parallel)
+        std::uint8_t* stable_row = chunk.stable[p].data();
+        for (std::size_t c = begin; c < end; ++c) {
+          Rng cell_rng = streams.stream(p * total_ + begin_global + c);
+          const std::uint64_t ones =
+              cell_rng.binomial(trials_, probs[(c - begin) * n_pufs + p]);
+          soft_row[c] = soft_lut_.empty() ? static_cast<double>(ones) /
+                                                static_cast<double>(trials_)
+                                          : soft_lut_[ones];
+          stable_row[c] = (ones == 0 || ones == trials_) ? 1 : 0;
+        }
+      }
+    } else {
+      for (std::size_t c = begin; c < end; ++c) {
+        for (std::size_t p = 0; p < n_pufs; ++p) {
+          Rng cell_rng = streams.stream(p * total_ + begin_global + c);
+          // kScalar is the per-cell reference path, as in scan_individual.
+          // xpuf-lint: allow(scalar-eval)
+          const SoftMeasurement meas = chip_->measure_soft_response(
+              p, chunk.block.challenge(c), env_, trials_, cell_rng);
+          chunk.soft[p][c] = meas.soft_response();
+          // Same: byte flags, not vector<bool>.  xpuf-lint: allow(vector-bool-parallel)
+          chunk.stable[p][c] = meas.fully_stable() ? 1 : 0;
+        }
+      }
+    }
+    measurements.add((end - begin) * n_pufs);
+  });
+  position_ += m;
+  return true;
+}
+
+ChipScanStream ChipTester::stream_individual(const XorPufChip& chip, std::size_t total,
+                                             std::size_t chunk_challenges) {
+  return ChipScanStream(chip, env_, trials_, mode_, total, chunk_challenges, rng_);
 }
 
 std::vector<SoftMeasurement> ChipTester::scan_single(const XorPufChip& chip,

@@ -104,6 +104,48 @@ TEST(Dataset, ShuffleKeepsRowsPaired) {
   for (std::size_t i = 0; i < 30; ++i) EXPECT_DOUBLE_EQ(ys[i], static_cast<double>(i));
 }
 
+TEST(Dataset, AddHasAmortizedAppendCost) {
+  // Regression guard for the O(n^2) build bug: add() used to reallocate and
+  // copy the whole matrix on every row. With geometric growth the number of
+  // distinct storage capacities over n appends is O(log n); the old
+  // row-per-realloc behavior produced one capacity change per append.
+  Dataset data;
+  const std::size_t n = 20'000, d = 8;
+  std::vector<double> row(d);
+  std::size_t x_reallocs = 0, y_reallocs = 0;
+  std::size_t x_cap = data.x.raw().capacity(), y_cap = data.y.raw().capacity();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) row[c] = static_cast<double>(r * d + c);
+    data.add(row, static_cast<double>(r));
+    if (data.x.raw().capacity() != x_cap) { ++x_reallocs; x_cap = data.x.raw().capacity(); }
+    if (data.y.raw().capacity() != y_cap) { ++y_reallocs; y_cap = data.y.raw().capacity(); }
+  }
+  EXPECT_LE(x_reallocs, 64u);
+  EXPECT_LE(y_reallocs, 64u);
+  // Growth must not scramble contents.
+  ASSERT_EQ(data.size(), n);
+  ASSERT_EQ(data.features(), d);
+  for (std::size_t r = 0; r < n; r += 997) {
+    for (std::size_t c = 0; c < d; ++c)
+      EXPECT_DOUBLE_EQ(data.x(r, c), static_cast<double>(r * d + c));
+    EXPECT_DOUBLE_EQ(data.y[r], static_cast<double>(r));
+  }
+}
+
+TEST(Dataset, ReserveAvoidsGrowthCopies) {
+  Dataset data;
+  data.reserve(1'000, 3);
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(data.features(), 3u);
+  const std::size_t x_cap = data.x.raw().capacity();
+  const std::size_t y_cap = data.y.raw().capacity();
+  const std::vector<double> row{1.0, 2.0, 3.0};
+  for (std::size_t r = 0; r < 1'000; ++r) data.add(row, 0.5);
+  EXPECT_EQ(data.x.raw().capacity(), x_cap);
+  EXPECT_EQ(data.y.raw().capacity(), y_cap);
+  EXPECT_EQ(data.size(), 1'000u);
+}
+
 TEST(Dataset, EmptyDatasetBehaves) {
   const Dataset data;
   EXPECT_TRUE(data.empty());

@@ -110,6 +110,8 @@ TEST(LintRegistry, RegistryListsTheDocumentedRules) {
   EXPECT_TRUE(xpuf::lint::is_known_rule("narrowing"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("include-order"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("wire-portability"));
+  EXPECT_TRUE(xpuf::lint::is_known_rule("scalar-eval"));
+  EXPECT_TRUE(xpuf::lint::is_known_rule("ml-dot"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("bad-suppression"));
   EXPECT_FALSE(xpuf::lint::is_known_rule("no-such-rule"));
 }
@@ -234,6 +236,28 @@ TEST(LintSource, ByteStagingInParallelBodyIsClean) {
                           "});\n"
                           "for (std::size_t i = 0; i < n; ++i) flags[i] = staged[i] != 0;\n");
   EXPECT_FALSE(has_rule(v, "vector-bool-parallel"));
+}
+
+TEST(LintSource, FlagsHandRolledDotLoopInMl) {
+  const std::string loop =
+      "for (std::size_t c = 0; c < d; ++c) z += row[c] * w[c];\n";
+  EXPECT_TRUE(has_rule(lint_str("src/ml/demo.cpp", loop), "ml-dot"));
+  // Reversed operand order is the same dot product.
+  EXPECT_TRUE(has_rule(
+      lint_str("src/ml/demo.cpp", "s += w[i] * phi[i];\n"), "ml-dot"));
+  // Scope is src/ml/ .cpp only; elsewhere the loop may be the kernel itself.
+  EXPECT_FALSE(has_rule(lint_str("src/linalg/demo.cpp", loop), "ml-dot"));
+  EXPECT_FALSE(has_rule(lint_str("src/ml/demo.hpp", loop), "ml-dot"));
+  // Mismatched subscripts are not a dot product (e.g. gram accumulation).
+  EXPECT_FALSE(has_rule(
+      lint_str("src/ml/demo.cpp", "g(i, j) += ri * row[j];\n"), "ml-dot"));
+  EXPECT_FALSE(has_rule(
+      lint_str("src/ml/demo.cpp", "acc += a[i] * b[j];\n"), "ml-dot"));
+  // An allow comment suppresses a sanctioned site.
+  EXPECT_FALSE(has_rule(
+      lint_str("src/ml/demo.cpp",
+               "z += row[c] * w[c];  // xpuf-lint: allow(ml-dot)\n"),
+      "ml-dot"));
 }
 
 TEST(LintSource, FlagsUnguardedPufEntryPoint) {

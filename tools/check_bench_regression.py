@@ -4,9 +4,9 @@
 Every BenchTimer writes the same flat record: name/seconds/threads/items
 plus any bench-specific numeric fields attached via set_field. This gate
 checks that structural schema, and — when the record carries an A/B pair
-(scalar_seconds / batched_seconds, written by bench_scan_throughput
---mode both) — that the batched evaluation core has not regressed behind
-the scalar reference path.
+(scalar_seconds / batched_seconds from bench_scan_throughput --mode both,
+or materialized_seconds / streaming_seconds from bench_enroll_throughput)
+— that the optimized side has not regressed behind its reference path.
 
 The default A/B tolerance is parity with 15% slack, not the much larger
 speedup the batched core actually delivers: CI shares one noisy core, and
@@ -62,19 +62,28 @@ def main() -> None:
             fail(f"extra field '{key}' is not numeric")
 
     summary = f"{record['name']}: {record['seconds']:.3f}s, {record['threads']} threads"
-    scalar = record.get("scalar_seconds")
-    batched = record.get("batched_seconds")
-    if scalar is not None and batched is not None:
-        if batched <= 0 or scalar <= 0:
-            fail("A/B pair present but a side is non-positive")
-        speedup = scalar / batched
+    # (reference field, optimized field, label) — each bench writes one pair.
+    ab_pairs = [
+        ("scalar_seconds", "batched_seconds", "batched"),
+        ("materialized_seconds", "streaming_seconds", "streaming"),
+    ]
+    found_pair = False
+    for ref_key, opt_key, label in ab_pairs:
+        ref = record.get(ref_key)
+        opt = record.get(opt_key)
+        if ref is None or opt is None:
+            continue
+        found_pair = True
+        if opt <= 0 or ref <= 0:
+            fail(f"A/B pair {ref_key}/{opt_key} present but a side is non-positive")
+        speedup = ref / opt
         floor = min_speedup if min_speedup is not None else 1.0 / 1.15
         if speedup < floor:
-            fail(f"batched/scalar speedup {speedup:.2f} below floor {floor:.2f} "
-             f"(scalar {scalar:.4f}s, batched {batched:.4f}s)")
-        summary += f", batched speedup {speedup:.2f} (floor {floor:.2f})"
-    elif min_speedup is not None:
-        fail("--min-speedup given but record has no scalar/batched A/B pair")
+            fail(f"{label} speedup {speedup:.2f} below floor {floor:.2f} "
+             f"({ref_key} {ref:.4f}s, {opt_key} {opt:.4f}s)")
+        summary += f", {label} speedup {speedup:.2f} (floor {floor:.2f})"
+    if min_speedup is not None and not found_pair:
+        fail("--min-speedup given but record has no A/B pair")
 
     print(f"bench timing: OK: {summary}")
 

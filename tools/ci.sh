@@ -3,9 +3,11 @@
 #
 #   release   Release, -DXPUF_WERROR=ON, full ctest (incl. `-L lint`:
 #             xpuf_lint over the tree + .clang-tidy validation)
-#   bench     bench_scan_throughput A/B (scalar vs batched core; the binary
-#             asserts bit-identity, the gate checks the timing JSON and that
-#             batched has not regressed behind scalar —
+#   bench     bench_scan_throughput A/B (scalar vs batched core) and
+#             bench_enroll_throughput A/B (materialized vs streaming
+#             enrollment, incl. the fixed-memory RSS assertion); both
+#             binaries assert bit-identity, the gate checks each timing
+#             JSON and that the optimized side has not regressed —
 #             tools/check_bench_regression.py)
 #   metrics   one bench run with --metrics-out, then a JSON schema check of
 #             the snapshot (tools/check_metrics_schema.py): counters/gauges/
@@ -104,12 +106,22 @@ service_job() {
 # workload. The binary itself asserts the two modes are bit-identical (and
 # the timed mode thread-count-deterministic); the schema gate then checks
 # the timing artifact and that batched hasn't regressed behind scalar.
+# Enrollment throughput runs the same way at a CI-sized challenge count:
+# the binary asserts streaming == materialized bit-identity and the
+# fixed-memory RSS bound, the gate checks the timing artifact and that
+# streaming hasn't regressed behind materialized.
 bench_job() {
   "${prefix}/bench/bench_scan_throughput" --threads 1 &&
     if command -v python3 >/dev/null 2>&1; then
       python3 tools/check_bench_regression.py bench_out/scan_throughput_timing.json
     else
       echo "python3 absent; timing check skipped (bench_out/scan_throughput_timing.json)"
+    fi &&
+    "${prefix}/bench/bench_enroll_throughput" --threads 1 --challenges 131072 &&
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/check_bench_regression.py bench_out/enroll_throughput_timing.json
+    else
+      echo "python3 absent; timing check skipped (bench_out/enroll_throughput_timing.json)"
     fi
 }
 

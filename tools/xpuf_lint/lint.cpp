@@ -40,6 +40,10 @@ const std::vector<RuleInfo> kRules = {
     {"scalar-eval",
      "per-challenge delay_difference/one_probability/measure_soft_response call in a "
      "protocol hot path; evaluate batches through the FeatureBlock core (sim/linear.hpp)"},
+    {"ml-dot",
+     "hand-rolled row-wise dot-product loop in src/ml/; route it through linalg::dot or "
+     "the GEMM kernels (matmul_nt / matmul_tn) so batch and scalar paths share one "
+     "accumulation order"},
     {"bad-suppression", "xpuf-lint allow comment names a rule that does not exist"},
 };
 
@@ -663,6 +667,23 @@ std::vector<Violation> lint_source(const std::string& rel_path, const std::strin
         report("scalar-eval", i,
                "per-challenge scalar evaluation call site; route the batch through the "
                "FeatureBlock core (sim/linear.hpp)");
+  }
+
+  // ml-dot: the ML stack's forward passes and objectives share one
+  // accumulation order through linalg::dot and the GEMM kernels — that is
+  // what makes batch-vs-scalar equivalence a bit-level claim. A new
+  // `acc += a[i] * b[i]` loop in src/ml/ forks that order (and the scalar
+  // cost) again; sanctioned exceptions carry allow comments stating why.
+  const bool ml_scope = path_has_prefix(rel_path, "src/ml/") && rel_path.size() > 4 &&
+                        rel_path.substr(rel_path.size() - 4) == ".cpp";
+  if (ml_scope) {
+    static const std::regex ml_dot(
+        R"(\+=\s*[\w.]+\s*\[\s*(\w+)\s*\]\s*\*\s*[\w.]+\s*\[\s*\1\s*\])");
+    for (std::size_t i = 0; i < code_lines.size(); ++i)
+      if (std::regex_search(code_lines[i], ml_dot))
+        report("ml-dot", i,
+               "hand-rolled row-wise dot product; use linalg::dot (scalar) or "
+               "matmul_nt/matmul_tn (batched) so the accumulation order stays shared");
   }
 
   // include-order.
