@@ -82,7 +82,7 @@ linalg::Matrix ServerModel::predict_raw_batch(const FeatureBlock& block,
 }
 
 // Dimension checks live in predict_raw_batch, the first call made.
-// xpuf-lint: allow(require-guard)
+// xpuf-lint: guarded-by(predict_raw_batch)
 std::vector<std::uint8_t> ServerModel::all_stable_batch(const FeatureBlock& block,
                                                         std::size_t n_pufs) const {
   const linalg::Matrix raw = predict_raw_batch(block, n_pufs);
@@ -99,7 +99,7 @@ std::vector<std::uint8_t> ServerModel::all_stable_batch(const FeatureBlock& bloc
   return out;
 }
 
-// Same: guarded by predict_raw_batch.  xpuf-lint: allow(require-guard)
+// Same.  xpuf-lint: guarded-by(predict_raw_batch)
 std::vector<std::uint8_t> ServerModel::predict_xor_batch(const FeatureBlock& block,
                                                          std::size_t n_pufs) const {
   const linalg::Matrix raw = predict_raw_batch(block, n_pufs);

@@ -21,7 +21,7 @@ crypto::Bits FuzzyExtractor::read_response(const sim::XorPufChip& chip,
 }
 
 // Dimension guard (challenges.size() == n) lives in read_response, the first
-// thing this calls.  xpuf-lint: allow(require-guard)
+// thing this calls.  xpuf-lint: guarded-by(read_response)
 KeyGenResult FuzzyExtractor::generate(const sim::XorPufChip& chip,
                                       const std::vector<Challenge>& challenges,
                                       const sim::Environment& env, Rng& rng) const {

@@ -23,7 +23,7 @@ ThresholdPair derive_thresholds(std::span<const double> predicted,
 }
 
 // Raw extrema carry their own "absent" encoding (infinities), so every input
-// is legal.  xpuf-lint: allow(require-guard)
+// is legal.
 ThresholdPair finalize_thresholds(double thr0, double thr1) {
   // Degenerate training sets (all measured stable on one side) fall back to
   // the 0.5 center — the most conservative classification boundary.

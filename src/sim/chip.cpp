@@ -83,7 +83,7 @@ ChipLinearView XorPufChip::linear_view(const Environment& env, std::size_t n_puf
 }
 
 // Index range and fuse state are both guarded by check_tap.
-// xpuf-lint: allow(require-guard)
+// xpuf-lint: guarded-by(check_tap)
 DeviceLinearView XorPufChip::device_linear_view(std::size_t puf_index,
                                                 const Environment& env) const {
   check_tap(puf_index);
@@ -95,7 +95,7 @@ linalg::Matrix XorPufChip::one_probabilities(const FeatureBlock& block,
   return linear_view(env).one_probabilities(block);
 }
 
-// An empty block yields an empty response batch.  xpuf-lint: allow(require-guard)
+// An empty block yields an empty response batch.
 std::vector<std::uint8_t> XorPufChip::xor_responses(const FeatureBlock& block,
                                                     const Environment& env,
                                                     const StreamFamily& streams) const {
@@ -122,7 +122,7 @@ std::vector<std::uint8_t> XorPufChip::xor_responses(const FeatureBlock& block,
   return out;
 }
 
-// Same empty-block contract as xor_responses.  xpuf-lint: allow(require-guard)
+// Same empty-block contract as xor_responses.
 std::vector<SoftMeasurement> XorPufChip::measure_xor_soft_responses(
     const FeatureBlock& block, const Environment& env, std::uint64_t trials,
     const StreamFamily& streams) const {

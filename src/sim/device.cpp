@@ -8,7 +8,7 @@
 
 namespace xpuf::sim {
 
-// The stages guard lives in random_challenge_into.  xpuf-lint: allow(require-guard)
+// The stages guard lives in random_challenge_into.  xpuf-lint: guarded-by(random_challenge_into)
 Challenge random_challenge(std::size_t stages, Rng& rng) {
   Challenge c;
   random_challenge_into(c, stages, rng);
@@ -92,7 +92,7 @@ double ArbiterPufDevice::one_probability(const Challenge& challenge,
 }
 
 // Challenge length is guarded by delay_difference, the first call made.
-// xpuf-lint: allow(require-guard)
+// xpuf-lint: guarded-by(delay_difference)
 bool ArbiterPufDevice::evaluate(const Challenge& challenge, const Environment& env,
                                 Rng& rng) const {
   const double delta = delay_difference(challenge, env);

@@ -72,7 +72,7 @@ double FeedForwardArbiterDevice::delay_difference(const Challenge& challenge,
 }
 
 // Challenge length is guarded by race(), the first call made.
-// xpuf-lint: allow(require-guard)
+// xpuf-lint: guarded-by(race)
 bool FeedForwardArbiterDevice::evaluate(const Challenge& challenge, const Environment& env,
                                         Rng& rng) const {
   const double delta = race(challenge, env, &rng);

@@ -23,7 +23,7 @@ InterposePuf::InterposePuf(const InterposeConfig& config, const DeviceParameters
 }
 
 // Internal helper: evaluate/response guard the challenge length, and each
-// device's delay_difference re-checks it.  xpuf-lint: allow(require-guard)
+// device's delay_difference re-checks it.  xpuf-lint: guarded-by(delay_difference)
 bool InterposePuf::upper_bit(const Challenge& challenge, const Environment& env,
                              Rng* rng) const {
   bool bit = false;

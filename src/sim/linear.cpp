@@ -23,7 +23,6 @@ void feature_fill(const Challenge& challenge, double* out) {
 }
 
 // An empty batch is a legal no-op block (empty scans are no-ops too).
-// xpuf-lint: allow(require-guard)
 std::vector<Challenge> random_challenges(std::size_t stages, std::size_t count, Rng& rng) {
   XPUF_REQUIRE(stages > 0, "challenges need at least one stage");
   std::vector<Challenge> out;
@@ -33,7 +32,6 @@ std::vector<Challenge> random_challenges(std::size_t stages, std::size_t count, 
 }
 
 // Same: an empty block is legal and yields no rows.
-// xpuf-lint: allow(require-guard)
 FeatureBlock::FeatureBlock(std::vector<Challenge> challenges)
     : challenges_(std::move(challenges)) {
   if (challenges_.empty()) return;
@@ -47,7 +45,6 @@ FeatureBlock::FeatureBlock(std::vector<Challenge> challenges)
 }
 
 // Same empty-block contract as the constructor.
-// xpuf-lint: allow(require-guard)
 void FeatureBlock::assign(const std::vector<Challenge>& challenges) {
   challenges_ = challenges;
   if (challenges_.empty()) {
@@ -88,7 +85,6 @@ linalg::Vector DeviceLinearView::one_probabilities(const FeatureBlock& block) co
 }
 
 // Row range is the caller's tile; an empty range writes nothing.
-// xpuf-lint: allow(require-guard)
 void DeviceLinearView::delay_differences_into(const FeatureBlock& block, std::size_t begin,
                                               std::size_t end, double* out) const {
   XPUF_REQUIRE(end <= block.size() && begin <= end, "tile range out of bounds");
@@ -136,14 +132,13 @@ double ChipLinearView::noise_sigma(std::size_t puf_index) const {
 }
 
 // Empty blocks produce an empty matrix, mirroring the tile kernels.
-// xpuf-lint: allow(require-guard)
 linalg::Matrix ChipLinearView::delay_differences(const FeatureBlock& block) const {
   if (block.empty()) return linalg::Matrix(0, puf_count());
   XPUF_REQUIRE(block.features() == features(), "feature length mismatch");
   return linalg::matmul_nt(block.phi(), weights_);
 }
 
-// Same empty-block contract.  xpuf-lint: allow(require-guard)
+// Same empty-block contract.
 linalg::Matrix ChipLinearView::one_probabilities(const FeatureBlock& block) const {
   linalg::Matrix delays = delay_differences(block);
   for (std::size_t r = 0; r < delays.rows(); ++r) {
@@ -283,7 +278,7 @@ bool avx2_dispatch(const linalg::Matrix& weights_t, std::size_t n,
 
 }  // namespace
 
-// Tile contract as in DeviceLinearView.  xpuf-lint: allow(require-guard)
+// Tile contract as in DeviceLinearView.
 void ChipLinearView::delay_differences_into(const FeatureBlock& block, std::size_t begin,
                                             std::size_t end, double* out) const {
   XPUF_REQUIRE(end <= block.size() && begin <= end, "tile range out of bounds");

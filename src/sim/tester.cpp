@@ -43,7 +43,7 @@ ChipTester::ChipTester(Environment env, std::uint64_t trials, Rng rng, ScanMode 
 }
 
 // Any count is legal (an empty scan is a no-op); the stage count is guarded
-// inside random_challenges.  xpuf-lint: allow(require-guard)
+// inside random_challenges.
 std::vector<Challenge> ChipTester::random_challenges(const XorPufChip& chip,
                                                      std::size_t count) {
   return sim::random_challenges(chip.stages(), count, rng_);
@@ -184,7 +184,6 @@ void ChipScanStream::reset() {
 }
 
 // Exhaustion is the normal return path, not an error.
-// xpuf-lint: allow(require-guard)
 bool ChipScanStream::next(ScanChunk& chunk) {
   if (position_ >= total_) return false;
   XPUF_TRACE_SPAN("tester.scan_stream_chunk");

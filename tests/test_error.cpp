@@ -113,6 +113,13 @@ TEST(LintRegistry, RegistryListsTheDocumentedRules) {
   EXPECT_TRUE(xpuf::lint::is_known_rule("scalar-eval"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("ml-dot"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("bad-suppression"));
+  // Semantic (cross-TU) rules run by the engine over the project index.
+  EXPECT_TRUE(xpuf::lint::is_known_rule("layering"));
+  EXPECT_TRUE(xpuf::lint::is_known_rule("parallel-rng"));
+  EXPECT_TRUE(xpuf::lint::is_known_rule("unordered-fp"));
+  EXPECT_TRUE(xpuf::lint::is_known_rule("wire-pairing"));
+  EXPECT_TRUE(xpuf::lint::is_known_rule("metrics-accounting"));
+  EXPECT_TRUE(xpuf::lint::is_known_rule("bad-guard-ref"));
   EXPECT_FALSE(xpuf::lint::is_known_rule("no-such-rule"));
 }
 

@@ -1,0 +1,392 @@
+// Fixture tests for the xpuf_lint semantic engine (tools/xpuf_lint/engine.hpp):
+// each cross-TU pass is driven on a minimal in-memory tree with at least one
+// true positive and one clean counterexample, plus the suppression-budget and
+// guarded-by round trips and the SARIF-lite JSON schema.
+//
+// Marker strings inside fixtures are assembled at runtime (lint_marker below)
+// so this file's own raw lines never carry a parseable suppression comment.
+#include "engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using xpuf::lint::Report;
+using xpuf::lint::Violation;
+using Files = std::vector<std::pair<std::string, std::string>>;
+
+/// Builds "// xpuf-lint: <rest>" without this source file containing the
+/// marker token itself.
+std::string lint_marker(const std::string& rest) {
+  return std::string("// xpuf-") + "lint: " + rest;
+}
+
+std::vector<Violation> with_rule(const Report& report, const std::string& rule) {
+  std::vector<Violation> out;
+  for (const Violation& v : report.violations)
+    if (v.rule == rule) out.push_back(v);
+  return out;
+}
+
+// --- Layering ---------------------------------------------------------------
+
+TEST(LintLayering, FlagsAnIncludeEdgeAgainstTheModuleDag) {
+  // ml may reach down to sim/linalg/common, never up into puf.
+  const Report report = xpuf::lint::analyze_files({
+      {"src/ml/model.hpp", "#pragma once\n#include \"puf/proto.hpp\"\n"},
+      {"src/puf/proto.hpp", "#pragma once\n"},
+  });
+  const auto hits = with_rule(report, "layering");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/ml/model.hpp");
+  EXPECT_EQ(hits[0].line, 2u);
+}
+
+TEST(LintLayering, AcceptsEdgesTheDagDeclares) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/puf/top.hpp", "#pragma once\n#include \"ml/mid.hpp\"\n"},
+      {"src/ml/mid.hpp", "#pragma once\n#include \"common/base.hpp\"\n"},
+      {"src/common/base.hpp", "#pragma once\n"},
+  });
+  EXPECT_TRUE(with_rule(report, "layering").empty());
+  EXPECT_EQ(report.stats.include_edges, 2u);
+}
+
+// --- Determinism: parallel-rng ----------------------------------------------
+
+TEST(LintParallelRng, FlagsUnkeyedRngConstructionInAParallelBody) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/sim/worker.cpp",
+       "void scan(std::size_t n) {\n"
+       "  XPUF_REQUIRE(n > 0, \"n\");\n"
+       "  parallel_for(n, 64, [&](std::size_t b, std::size_t e, std::size_t) {\n"
+       "    Rng local(123);\n"
+       "    for (std::size_t i = b; i < e; ++i) (void)local.uniform();\n"
+       "  });\n"
+       "}\n"},
+  });
+  const auto hits = with_rule(report, "parallel-rng");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 4u);
+}
+
+TEST(LintParallelRng, AcceptsStreamKeyedPerItemGenerators) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/sim/worker.cpp",
+       "void scan(std::size_t n, const StreamFamily& streams) {\n"
+       "  XPUF_REQUIRE(n > 0, \"n\");\n"
+       "  parallel_for(n, 1, [&](std::size_t b, std::size_t e, std::size_t) {\n"
+       "    for (std::size_t i = b; i < e; ++i) {\n"
+       "      Rng local = streams.stream(i);\n"
+       "      (void)local.uniform();\n"
+       "    }\n"
+       "  });\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(with_rule(report, "parallel-rng").empty());
+}
+
+TEST(LintParallelRng, FlagsOuterDrawsAndForksInsideTheBody) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/sim/worker.cpp",
+       "Rng shared(7);\n"
+       "void work(std::size_t n) {\n"
+       "  XPUF_REQUIRE(n > 0, \"n\");\n"
+       "  parallel_for(n, 1, [&](std::size_t b, std::size_t e, std::size_t) {\n"
+       "    (void)shared.uniform();\n"
+       "    Rng child = shared.fork();\n"
+       "    (void)child;\n"
+       "  });\n"
+       "}\n"},
+  });
+  // The outer-generator draw, the fork, and the unkeyed declaration.
+  EXPECT_EQ(with_rule(report, "parallel-rng").size(), 3u);
+}
+
+// --- Determinism: unordered-fp ----------------------------------------------
+
+TEST(LintUnorderedFp, FlagsHashIterationFeedingAnAccumulation) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/ml/acc.cpp",
+       "double total() {\n"
+       "  std::unordered_map<int, double> weights;\n"
+       "  double sum = 0.0;\n"
+       "  for (const auto& kv : weights) sum += kv.second;\n"
+       "  return sum;\n"
+       "}\n"},
+  });
+  const auto hits = with_rule(report, "unordered-fp");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 4u);
+}
+
+TEST(LintUnorderedFp, OrderedContainersAndNonAccumulatingLoopsAreClean) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/ml/acc.cpp",
+       "double total() {\n"
+       "  std::map<int, double> weights;\n"
+       "  std::unordered_map<int, double> index;\n"
+       "  double sum = 0.0;\n"
+       "  for (const auto& kv : weights) sum += kv.second;\n"
+       "  for (const auto& kv : index) check(kv.first);\n"
+       "  return sum;\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(with_rule(report, "unordered-fp").empty());
+}
+
+// --- Wire pairing -----------------------------------------------------------
+
+TEST(LintWirePairing, FlagsAWriterWithoutItsBoundsCheckedReader) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/net/wire.cpp",
+       "void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {\n"
+       "  out.push_back(static_cast<std::uint8_t>(v & 0xffu));\n"
+       "  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xffu));\n"
+       "}\n"},
+  });
+  const auto hits = with_rule(report, "wire-pairing");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("read_u16"), std::string::npos);
+}
+
+TEST(LintWirePairing, FlagsEncodeDecodeSequenceDrift) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/net/wire.cpp",
+       "constexpr std::uint64_t kPongBytes = 3;\n"
+       "void encode_pong(std::vector<std::uint8_t>& out) {\n"
+       "  out.reserve(kPongBytes);\n"
+       "  put_u16(out, 7);\n"
+       "  put_u8(out, 1);\n"
+       "}\n"
+       "void decode_pong(Cursor& in) {\n"
+       "  read_u8(in);\n"
+       "  read_u16(in);\n"
+       "}\n"},
+  });
+  const auto hits = with_rule(report, "wire-pairing");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("[u16,u8]"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("[u8,u16]"), std::string::npos);
+}
+
+TEST(LintWirePairing, FlagsReserveConstantsDriftedFromThePutLayout) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/net/wire.cpp",
+       "constexpr std::uint64_t kPingBytes = 4;\n"
+       "void encode_ping(std::vector<std::uint8_t>& out) {\n"
+       "  out.reserve(kPingBytes);\n"
+       "  put_u16(out, 7);\n"
+       "  put_u8(out, 1);\n"
+       "}\n"
+       "void decode_ping(Cursor& in) {\n"
+       "  read_u16(in);\n"
+       "  read_u8(in);\n"
+       "}\n"},
+  });
+  const auto hits = with_rule(report, "wire-pairing");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("reserves 4"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("write 3"), std::string::npos);
+}
+
+TEST(LintWirePairing, AConsistentCodecIsClean) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/net/wire.cpp",
+       "constexpr std::uint64_t kPingBytes = 3;\n"
+       "void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {\n"
+       "  out.push_back(static_cast<std::uint8_t>(v & 0xffu));\n"
+       "  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xffu));\n"
+       "}\n"
+       "std::uint16_t read_u16(Cursor& in) {\n"
+       "  if (in.remaining() < 2) throw DecodeError(\"short frame\");\n"
+       "  return in.take_u16();\n"
+       "}\n"
+       "void encode_ping(std::vector<std::uint8_t>& out) {\n"
+       "  out.reserve(kPingBytes);\n"
+       "  put_u16(out, 7);\n"
+       "  put_u8(out, 1);\n"
+       "}\n"
+       "void decode_ping(Cursor& in) {\n"
+       "  read_u16(in);\n"
+       "  read_u8(in);\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(with_rule(report, "wire-pairing").empty());
+}
+
+// --- Metrics accounting -----------------------------------------------------
+
+TEST(LintMetricsAccounting, FlagsDeadAndUnauditedCounters) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/puf/metrics_demo.cpp",
+       "void register_dead() {\n"
+       "  Counter& dead = MetricsRegistry::global().counter(\"demo.dead\");\n"
+       "  (void)dead;\n"
+       "}\n"
+       "void bump_unaudited() {\n"
+       "  Counter& hits = MetricsRegistry::global().counter(\"demo.unaudited\");\n"
+       "  hits.add(1);\n"
+       "}\n"},
+  });
+  const auto hits = with_rule(report, "metrics-accounting");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_NE(hits[0].message.find("demo.dead"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("never incremented"), std::string::npos);
+  EXPECT_NE(hits[1].message.find("demo.unaudited"), std::string::npos);
+  EXPECT_NE(hits[1].message.find("never audited"), std::string::npos);
+  EXPECT_EQ(report.stats.counters_indexed, 2u);
+}
+
+TEST(LintMetricsAccounting, ATestExpectationQuotingTheNameIsAnAudit) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/puf/metrics_demo.cpp",
+       "void bump() {\n"
+       "  Counter& hits = MetricsRegistry::global().counter(\"demo.live\");\n"
+       "  hits.add(1);\n"
+       "}\n"},
+      {"tests/test_demo.cpp",
+       "void check() {\n"
+       "  EXPECT_EQ(snap.counters.at(\"demo.live\"), 1u);\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(with_rule(report, "metrics-accounting").empty());
+}
+
+// --- Guarded-by policy ------------------------------------------------------
+
+namespace guarded_fixture {
+
+std::string guarded_tree(const std::string& marker_line) {
+  return "void helper(const std::vector<double>& v) {\n"
+         "  XPUF_REQUIRE(!v.empty(), \"v must be non-empty\");\n"
+         "  (void)v.size();\n"
+         "}\n" +
+         marker_line +
+         "double outer(const std::vector<double>& v) {\n"
+         "  helper(v);\n"
+         "  double s = 0.0;\n"
+         "  for (double x : v) s += x;\n"
+         "  return s;\n"
+         "}\n";
+}
+
+}  // namespace guarded_fixture
+
+TEST(LintGuardedBy, AProvenClaimDischargesAtZeroBudgetCost) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/sim/guarded.cpp",
+       guarded_fixture::guarded_tree(lint_marker("guarded-by(helper)") + "\n")},
+  });
+  EXPECT_TRUE(with_rule(report, "require-guard").empty());
+  EXPECT_TRUE(with_rule(report, "bad-guard-ref").empty());
+  EXPECT_EQ(report.stats.guarded_by_verified, 1u);
+  EXPECT_EQ(report.stats.suppressions_total(), 0u);
+}
+
+TEST(LintGuardedBy, WithoutTheMarkerTheFindingStands) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/sim/guarded.cpp", guarded_fixture::guarded_tree("")},
+  });
+  EXPECT_EQ(with_rule(report, "require-guard").size(), 1u);
+  EXPECT_EQ(report.stats.guarded_by_verified, 0u);
+}
+
+TEST(LintGuardedBy, AnUnprovableClaimKeepsTheFindingAndFlagsTheMarker) {
+  // `helper` exists but carries no XPUF_REQUIRE, so the claim cannot be
+  // proven: the original finding survives and the marker itself is reported.
+  const Report report = xpuf::lint::analyze_files({
+      {"src/sim/guarded.cpp",
+       "void helper(const std::vector<double>& v) {\n"
+       "  (void)v;\n"
+       "}\n" +
+       lint_marker("guarded-by(helper)") + "\n" +
+       "double outer(const std::vector<double>& v) {\n"
+       "  helper(v);\n"
+       "  double s = 0.0;\n"
+       "  for (double x : v) s += x;\n"
+       "  return s;\n"
+       "}\n"},
+  });
+  EXPECT_EQ(with_rule(report, "require-guard").size(), 1u);
+  EXPECT_EQ(with_rule(report, "bad-guard-ref").size(), 1u);
+  EXPECT_EQ(report.stats.guarded_by_verified, 0u);
+}
+
+TEST(LintGuardedBy, AMarkerDischargingNothingIsStale) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/sim/guarded.cpp",
+       lint_marker("guarded-by(helper)") + "\n" +
+       "double outer(const std::vector<double>& v) {\n"
+       "  XPUF_REQUIRE(!v.empty(), \"v\");\n"
+       "  double s = 0.0;\n"
+       "  for (double x : v) s += x;\n"
+       "  return s;\n"
+       "}\n"},
+  });
+  const auto hits = with_rule(report, "bad-guard-ref");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("stale"), std::string::npos);
+}
+
+// --- Suppression budget -----------------------------------------------------
+
+TEST(LintSuppressionBudget, AllowMarkersAreCountedAndFilterFindings) {
+  const std::string flagged = "std::mt19937 gen(42);\n";
+  const Report unsuppressed = xpuf::lint::analyze_files({
+      {"src/puf/demo.cpp", flagged},
+  });
+  EXPECT_EQ(with_rule(unsuppressed, "raw-rng").size(), 1u);
+  EXPECT_EQ(unsuppressed.stats.suppressions_total(), 0u);
+
+  const Report suppressed = xpuf::lint::analyze_files({
+      {"src/puf/demo.cpp",
+       "std::mt19937 gen(42);  " + lint_marker("allow(raw-rng)") + "\n"},
+  });
+  EXPECT_TRUE(with_rule(suppressed, "raw-rng").empty());
+  EXPECT_EQ(suppressed.stats.suppressions_total(), 1u);
+  EXPECT_EQ(suppressed.stats.suppressions_by_rule.at("raw-rng"), 1u);
+}
+
+TEST(LintSuppressionBudget, SemanticPassFindingsHonorAllowComments) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/ml/model.hpp",
+       "#pragma once\n" + lint_marker("allow(layering)") + "\n" +
+           "#include \"puf/proto.hpp\"\n"},
+      {"src/puf/proto.hpp", "#pragma once\n"},
+  });
+  EXPECT_TRUE(with_rule(report, "layering").empty());
+  EXPECT_EQ(report.stats.suppressions_by_rule.at("layering"), 1u);
+}
+
+// --- JSON report ------------------------------------------------------------
+
+TEST(LintJsonReport, EmitsTheSarifLiteSchema) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/puf/demo.cpp", "std::mt19937 gen(42);\n"},
+  });
+  const std::string json = xpuf::lint::report_to_json(report);
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"xpuf_lint\""), std::string::npos);
+  // Every registered rule is listed with a summary.
+  for (const auto& rule : xpuf::lint::rules())
+    EXPECT_NE(json.find("{\"id\": \"" + rule.name + "\""), std::string::npos);
+  // The one finding appears as a result row.
+  EXPECT_NE(json.find("\"ruleId\": \"raw-rng\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/puf/demo.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  // Stats block carries the budget inputs check_lint_baseline.py consumes.
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"violations_total\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"violations_by_rule\""), std::string::npos);
+  EXPECT_NE(json.find("\"suppressions_total\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"guarded_by_verified\": 0"), std::string::npos);
+}
+
+}  // namespace

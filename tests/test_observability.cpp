@@ -11,9 +11,12 @@
 #include "common/parallel.hpp"
 #include "common/trace.hpp"
 #include "ml/logistic_regression.hpp"
+#include "ml/mlp.hpp"
+#include "puf/authentication.hpp"
 #include "puf/database.hpp"
 #include "puf/threshold_adjust.hpp"
 #include "sim/population.hpp"
+#include "sim/tester.hpp"
 
 namespace xpuf {
 namespace {
@@ -198,6 +201,130 @@ TEST(ObservabilityIntegration, DatabaseCountersMatchOutcomeFields) {
   EXPECT_EQ(snap.spans.at("db.issue_batch").calls, 2u);
   EXPECT_EQ(snap.spans.at("selection.select").calls,
             snap.histograms.at("selection.batch_candidates").total);
+}
+
+// Standalone-server accounting: every model-selected issue() registers one
+// batch and `challenge_count` accepted challenges, and the verdict counters
+// partition the verification count — approved + denied == verifications,
+// with each side matching the outcomes the caller observed. The baseline
+// issue_random() path must NOT count as a selected batch.
+TEST(ObservabilityIntegration, AuthenticationServerCountersPartitionVerdicts) {
+  sim::PopulationConfig cfg;
+  cfg.n_chips = 2;
+  cfg.n_pufs_per_chip = 3;
+  cfg.seed = 5150;
+  sim::ChipPopulation pop(cfg);
+  Rng rng(808);
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 2'000;
+  ecfg.trials = 2'000;
+  puf::ServerModel m = puf::Enroller(ecfg).enroll(pop.chip(0), rng);
+  m.set_betas(puf::BetaFactors{0.85, 1.15});
+  constexpr std::size_t kBatchSize = 16;
+  const puf::AuthenticationServer server(std::move(m), 3,
+                                         {.challenge_count = kBatchSize});
+
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  Rng session(777);
+  std::uint64_t approved = 0, denied = 0, selected_rounds = 0;
+  const auto tally = [&](const puf::AuthenticationOutcome& out) {
+    (out.approved ? approved : denied) += 1;
+  };
+  // Honest chip, model-selected batches: these should approve.
+  for (int round = 0; round < 2; ++round) {
+    tally(server.authenticate(pop.chip(0), sim::Environment::nominal(), session));
+    ++selected_rounds;
+  }
+  // An impostor chip answering chip 0's challenges: denied, still verified.
+  tally(server.authenticate(pop.chip(1), sim::Environment::nominal(), session));
+  ++selected_rounds;
+  // Baseline random batch: verified, but no selected batch is accounted.
+  tally(server.authenticate(pop.chip(0), sim::Environment::nominal(), session,
+                            /*model_selected=*/false));
+  EXPECT_GT(approved, 0u);
+  EXPECT_GT(denied, 0u);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("auth.batches_issued"), selected_rounds);
+  EXPECT_EQ(snap.counters.at("selection.accepted"),
+            selected_rounds * kBatchSize);
+  EXPECT_EQ(snap.counters.at("auth.approved"), approved);
+  EXPECT_EQ(snap.counters.at("auth.denied"), denied);
+  EXPECT_EQ(snap.counters.at("auth.approved") + snap.counters.at("auth.denied"),
+            snap.counters.at("auth.verifications"));
+  EXPECT_EQ(snap.counters.at("auth.verifications"), approved + denied);
+}
+
+// A request for a device the database never enrolled is refused AND counted:
+// db.unknown_device is the ledger of probes against unprovisioned ids.
+TEST(ObservabilityIntegration, UnknownDeviceRequestsAreCounted) {
+  sim::PopulationConfig cfg;
+  cfg.n_chips = 2;
+  cfg.n_pufs_per_chip = 3;
+  cfg.seed = 5150;
+  sim::ChipPopulation pop(cfg);
+  Rng rng(808);
+  puf::EnrollmentConfig ecfg;
+  ecfg.training_challenges = 2'000;
+  ecfg.trials = 2'000;
+  puf::ServerModel m = puf::Enroller(ecfg).enroll(pop.chip(0), rng);
+  m.set_betas(puf::BetaFactors{0.85, 1.15});
+  puf::ServerDatabase db(
+      puf::DatabaseConfig{.n_pufs = 3, .policy = {.challenge_count = 16}});
+  db.register_device(std::move(m));
+
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  Rng session(777);
+  const puf::DatabaseAuthOutcome stranger =
+      db.authenticate(pop.chip(1), sim::Environment::nominal(), session);
+  EXPECT_FALSE(stranger.known_device);
+  EXPECT_FALSE(stranger.outcome.approved);
+  const puf::DatabaseAuthOutcome known =
+      db.authenticate(pop.chip(0), sim::Environment::nominal(), session);
+  EXPECT_TRUE(known.known_device);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("db.unknown_device"), 1u);
+  EXPECT_EQ(snap.counters.at("db.auth_requests"), 2u);
+}
+
+// Workload counters that meter raw work volume: tester.xor_samples equals
+// the number of XOR evaluations requested across sample_xor() calls, and
+// ml.adam_epochs equals the epochs the Adam options asked for.
+TEST(ObservabilityIntegration, TesterAndAdamCountersMatchWorkload) {
+  sim::PopulationConfig cfg;
+  cfg.n_chips = 1;
+  cfg.n_pufs_per_chip = 3;
+  cfg.seed = 5150;
+  sim::ChipPopulation pop(cfg);
+
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  sim::ChipTester tester(sim::Environment::nominal(), 100, Rng(42));
+  const auto first = tester.random_challenges(pop.chip(0), 10);
+  const auto second = tester.random_challenges(pop.chip(0), 7);
+  (void)tester.sample_xor(pop.chip(0), first);
+  (void)tester.sample_xor(pop.chip(0), second);
+  EXPECT_EQ(registry.snapshot().counters.at("tester.xor_samples"),
+            first.size() + second.size());
+
+  registry.reset();
+  ml::Dataset data;
+  for (int i = 0; i < 32; ++i) {
+    const double a = (i % 2 == 0) ? 1.0 : -1.0;
+    const double features[2] = {a, 0.5 * a};
+    data.add(features, a > 0 ? 1.0 : 0.0);
+  }
+  ml::Mlp mlp(2, ml::MlpOptions{.hidden_layers = {4}});
+  ml::MlpAdamOptions options;
+  options.epochs = 3;
+  options.batch_size = 8;
+  Rng adam_rng(7);
+  mlp.fit_adam(data, options, adam_rng);
+  EXPECT_EQ(registry.snapshot().counters.at("ml.adam_epochs"),
+            options.epochs);
 }
 
 // The concurrent half of the ServerDatabase contract (database.hpp):

@@ -91,6 +91,11 @@ TEST(ServiceEngine, CleanWireFullFlowApprovesEverySession) {
   EXPECT_EQ(report.faults.faults(), 0u);
   EXPECT_EQ(report.enroll_activated, 6u);
   EXPECT_EQ(report.revocations, 2u);
+  // A clean wire never delivers duplicate or out-of-session frames, so the
+  // ignored-frame ledger stays at zero.
+  EXPECT_EQ(
+      MetricsRegistry::global().snapshot().counters.at("net.frames_ignored"),
+      0u);
 
   // Per-device ledgers: session ids are dense from 1, plans in order.
   const auto& records = engine->device_records(2);
@@ -172,6 +177,11 @@ TEST(ServiceEngine, GlobalCountersReconcileWithTheReport) {
   EXPECT_EQ(snap.counters.at("net.frames_truncated"), report.faults.truncated);
   EXPECT_EQ(snap.counters.at("net.frames_bitflipped"),
             report.faults.bitflipped);
+  // Duplicated frames land in the ignored ledger: a faulted wire must move
+  // it, and it can never exceed what was actually delivered.
+  EXPECT_GT(snap.counters.at("net.frames_ignored"), 0u);
+  EXPECT_LT(snap.counters.at("net.frames_ignored"),
+            snap.counters.at("net.frames_delivered"));
   // Revocation removes a device's replay ledger, so the live ledger size
   // trails the issue counter by exactly the revoked devices' issues.
   EXPECT_GT(snap.gauges.at("db.ledger_size"), 0.0);

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Gates a CI run on the xpuf_lint JSON report and the suppression budget.
+
+The report (xpuf_lint --format json) is the SARIF-lite artifact the release
+job drops under bench_out/ci/. This gate enforces two policies:
+
+  * zero violations — every finding is either fixed or carries an explicit
+    allow marker, so a red report means unreviewed code;
+  * shrink-only suppression budget — per-rule allow()/allow-file() counts
+    may never exceed tools/lint_baseline.json. A rule absent from the
+    baseline has budget zero, so new suppressions of a new rule fail until
+    they are deliberately budgeted. Verified guarded-by markers cost no
+    budget and are not counted here.
+
+When a rule's count drops below its budget the gate stays green but says
+so: ratchet the baseline down in the same change that removed the markers,
+or the headroom silently becomes room for regressions.
+
+Usage: check_lint_baseline.py <lint_report.json> <lint_baseline.json>
+"""
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"lint baseline: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path} is not a JSON object")
+    return doc
+
+
+def counts(doc: dict, path: str, key: str) -> dict:
+    table = doc.get(key)
+    if not isinstance(table, dict):
+        fail(f"{path}: '{key}' absent or not an object")
+    for rule, n in table.items():
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            fail(f"{path}: '{key}' entry {rule!r} is not a non-negative integer")
+    return table
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    report_path, baseline_path = sys.argv[1], sys.argv[2]
+
+    report = load(report_path)
+    if report.get("version") != 1:
+        fail(f"{report_path}: unsupported report version {report.get('version')!r}")
+    stats = report.get("stats")
+    if not isinstance(stats, dict):
+        fail(f"{report_path}: 'stats' absent or not an object")
+    if not isinstance(report.get("results"), list):
+        fail(f"{report_path}: 'results' absent or not a list")
+
+    total = stats.get("violations_total")
+    if not isinstance(total, int) or isinstance(total, bool):
+        fail(f"{report_path}: 'stats.violations_total' absent or not an integer")
+    if total != len(report["results"]):
+        fail(f"{report_path}: violations_total={total} but {len(report['results'])} results")
+    if total > 0:
+        for v in report["results"][:10]:
+            print(f"  {v.get('file')}:{v.get('line')}: [{v.get('ruleId')}] "
+                  f"{v.get('message')}", file=sys.stderr)
+        fail(f"{total} lint violation(s); fix them or add reviewed allow markers")
+
+    baseline = load(baseline_path)
+    if baseline.get("version") != 1:
+        fail(f"{baseline_path}: unsupported baseline version {baseline.get('version')!r}")
+    budget = counts(baseline, baseline_path, "suppressions")
+    used = counts(stats, report_path, "suppressions_by_rule")
+
+    over = []
+    slack = []
+    for rule in sorted(set(budget) | set(used)):
+        u, b = used.get(rule, 0), budget.get(rule, 0)
+        if u > b:
+            over.append(f"{rule}: {u} suppression(s), budget {b}")
+        elif u < b:
+            slack.append(f"{rule}: {u} < budget {b}")
+    if over:
+        for line in over:
+            print(f"  {line}", file=sys.stderr)
+        fail("suppression budget exceeded; fix the findings instead of "
+             "suppressing them (the budget only ratchets down)")
+    if slack:
+        print("lint baseline: OK (ratchet available: "
+              + "; ".join(slack) + " — tighten tools/lint_baseline.json)")
+    else:
+        print("lint baseline: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,228 @@
+#include "lexer/lexer.hpp"
+
+#include <cctype>
+
+namespace xpuf::lint {
+
+namespace {
+
+enum class S { kCode, kLine, kBlock, kString, kChar };
+
+/// One state machine drives both blanking variants and the tokenizer: the
+/// semantics of "where does a comment/string start and end" must not drift
+/// between the per-file rules and the semantic passes.
+std::string blank_impl(const std::string& src, bool blank_strings) {
+  std::string out = src;
+  S s = S::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (s) {
+      case S::kCode:
+        if (c == '/' && next == '/') {
+          s = S::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          s = S::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          s = S::kString;
+        } else if (c == '\'' && (i == 0 || !ident_char(src[i - 1]))) {
+          // Ident-adjacent quotes are digit separators (2'000), not chars.
+          s = S::kChar;
+        }
+        break;
+      case S::kLine:
+        if (c == '\n')
+          s = S::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case S::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          s = S::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case S::kString:
+        if (c == '\\' && next != '\0') {
+          if (blank_strings) {
+            out[i] = ' ';
+            out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '"') {
+          s = S::kCode;
+        } else if (c != '\n' && blank_strings) {
+          out[i] = ' ';
+        }
+        break;
+      case S::kChar:
+        if (c == '\\' && next != '\0') {
+          if (blank_strings) {
+            out[i] = ' ';
+            out[i + 1] = ' ';
+          }
+          ++i;
+        } else if (c == '\'') {
+          s = S::kCode;
+        } else if (c != '\n' && blank_strings) {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+std::string blank_comments_and_strings(const std::string& src) {
+  return blank_impl(src, /*blank_strings=*/true);
+}
+
+std::string blank_comments(const std::string& src) {
+  return blank_impl(src, /*blank_strings=*/false);
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  auto at = [&](std::size_t k) { return k < src.size() ? src[k] : '\0'; };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && at(i + 1) == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '*') {
+      i += 2;
+      while (i < src.size() && !(src[i] == '*' && at(i + 1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= src.size() ? i + 2 : src.size();
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      const std::size_t start_line = line;
+      std::string body;
+      ++i;
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          body.push_back(src[i]);
+          body.push_back(src[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;
+        body.push_back(src[i]);
+        ++i;
+      }
+      if (i < src.size()) ++i;  // closing quote
+      out.push_back({TokenKind::kString, body, start_line});
+      continue;
+    }
+    // Character literal (an ident-adjacent quote is a digit separator and is
+    // consumed by the number scanner below, never reached here).
+    if (c == '\'' && (i == 0 || !ident_char(src[i - 1]))) {
+      const std::size_t start_line = line;
+      std::string body;
+      ++i;
+      while (i < src.size() && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          body.push_back(src[i]);
+          body.push_back(src[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;
+        body.push_back(src[i]);
+        ++i;
+      }
+      if (i < src.size()) ++i;
+      out.push_back({TokenKind::kCharLit, body, start_line});
+      continue;
+    }
+    // Number: digits with separators, a fraction, and a signed exponent.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start_line = line;
+      std::string body;
+      while (i < src.size()) {
+        const char d = src[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' || d == '.' ||
+            d == '\'') {
+          body.push_back(d);
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && !body.empty() &&
+            (body.back() == 'e' || body.back() == 'E' || body.back() == 'p' ||
+             body.back() == 'P')) {
+          body.push_back(d);
+          ++i;
+          continue;
+        }
+        break;
+      }
+      out.push_back({TokenKind::kNumber, body, start_line});
+      continue;
+    }
+    // Identifier.
+    if (ident_char(c)) {
+      const std::size_t start_line = line;
+      std::string body;
+      while (i < src.size() && ident_char(src[i])) {
+        body.push_back(src[i]);
+        ++i;
+      }
+      out.push_back({TokenKind::kIdentifier, body, start_line});
+      continue;
+    }
+    out.push_back({TokenKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace xpuf::lint

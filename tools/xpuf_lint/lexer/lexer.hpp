@@ -1,0 +1,53 @@
+// xpuf_lint lexing layer — comment/string-aware tokenization shared by the
+// per-file rules (lint.cpp), the cross-TU index (index/), and the semantic
+// passes (passes/).
+//
+// The lexer is deliberately approximate where full C++ lexing would drag in a
+// preprocessor (no macro expansion, no raw-string `R"(...)"` delimiters — a
+// raw string lexes as an ordinary string up to its first unescaped quote).
+// That approximation has one consequence the rules accept: patterns never
+// match inside comments or string literals, which is the property every rule
+// in this tree actually needs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xpuf::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< integer/float literal, digit separators included
+  kString,      ///< "..." — text carries the unquoted body
+  kCharLit,     ///< '...'
+  kPunct,       ///< one punctuation character
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line;  ///< 1-based line of the token's first character.
+};
+
+/// True for characters that may appear in an identifier.
+bool ident_char(char c);
+
+/// Replaces comments and string/character literals with spaces (newlines and
+/// line lengths preserved) so rule patterns only ever match real code.
+std::string blank_comments_and_strings(const std::string& src);
+
+/// Same, but string/character literals survive — for analyses keyed on
+/// string payloads (metric names, include paths) that must still ignore
+/// commented-out code.
+std::string blank_comments(const std::string& src);
+
+std::vector<std::string> split_lines(const std::string& s);
+
+std::string trim(const std::string& s);
+
+/// Tokenizes `src`, skipping comments and whitespace. String and character
+/// literals become single tokens carrying their body text.
+std::vector<Token> tokenize(const std::string& src);
+
+}  // namespace xpuf::lint

@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
 #include <fstream>
 #include <map>
 #include <regex>
 #include <sstream>
 
+#include "engine.hpp"
+#include "index/index.hpp"
+#include "lexer/lexer.hpp"
+
 namespace xpuf::lint {
 
 namespace {
-
-namespace fs = std::filesystem;
 
 const std::vector<RuleInfo> kRules = {
     {"raw-rng",
@@ -45,98 +46,28 @@ const std::vector<RuleInfo> kRules = {
      "the GEMM kernels (matmul_nt / matmul_tn) so batch and scalar paths share one "
      "accumulation order"},
     {"bad-suppression", "xpuf-lint allow comment names a rule that does not exist"},
+    // Semantic rules — emitted by the cross-TU passes (passes/) and the
+    // engine's guarded-by policy, registered here so the suppression
+    // vocabulary and --list-rules cover them.
+    {"layering",
+     "include edge violates the declared module DAG (common <- linalg/crypto <- sim <- "
+     "ml <- puf <- analysis/net) or closes a module cycle"},
+    {"parallel-rng",
+     "Rng inside a parallel body is not keyed off StreamFamily::stream(i); draw order "
+     "then depends on thread scheduling"},
+    {"unordered-fp",
+     "std::unordered_* iteration feeds an accumulation; hash order is unspecified, so "
+     "floating-point results drift across runs"},
+    {"wire-pairing",
+     "wire codec halves drifted: put_uN without a width-matched read_uN, encode/decode "
+     "sequences out of sync, or reserve() not accounting the fixed frame bytes"},
+    {"metrics-accounting",
+     "registered counter is never incremented, or incremented but never audited by a "
+     "tests//bench/ expectation or a total() consumer"},
+    {"bad-guard-ref",
+     "guarded-by(callee) marker the symbol index cannot verify, or one that no longer "
+     "discharges any require-guard finding"},
 };
-
-bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
-
-/// Replaces comments and string/character literals with spaces (newlines and
-/// line lengths preserved) so rule patterns only ever match real code.
-std::string blank_comments_and_strings(const std::string& src) {
-  std::string out = src;
-  enum class S { kCode, kLine, kBlock, kString, kChar };
-  S s = S::kCode;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (s) {
-      case S::kCode:
-        if (c == '/' && next == '/') {
-          s = S::kLine;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          s = S::kBlock;
-          out[i] = ' ';
-        } else if (c == '"') {
-          s = S::kString;
-        } else if (c == '\'' && (i == 0 || !ident_char(src[i - 1]))) {
-          // Ident-adjacent quotes are digit separators (2'000), not chars.
-          s = S::kChar;
-        }
-        break;
-      case S::kLine:
-        if (c == '\n')
-          s = S::kCode;
-        else
-          out[i] = ' ';
-        break;
-      case S::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          s = S::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case S::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          s = S::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case S::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          s = S::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& s) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : s) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t\r\n");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t\r\n");
-  return s.substr(b, e - b + 1);
-}
 
 std::vector<std::string> parse_allow_list(const std::string& line, const std::string& marker) {
   std::vector<std::string> out;
@@ -167,51 +98,6 @@ bool is_rng_file(const std::string& rel) {
 std::string basename_of(const std::string& p) {
   const std::size_t slash = p.find_last_of('/');
   return slash == std::string::npos ? p : p.substr(slash + 1);
-}
-
-/// Per-line suppression sets: an allow comment covers its own line; a
-/// comment-only allow line additionally covers the next line.
-struct Suppressions {
-  std::set<std::string> file_wide;
-  std::vector<std::set<std::string>> per_line;  // indexed by 0-based line
-  std::vector<Violation> meta;                  // bad-suppression findings
-
-  bool allows(const std::string& rule, std::size_t line0) const {
-    if (file_wide.count(rule)) return true;
-    return line0 < per_line.size() && per_line[line0].count(rule) != 0;
-  }
-};
-
-Suppressions build_suppressions(const std::string& rel_path,
-                                const std::vector<std::string>& raw_lines) {
-  Suppressions sup;
-  sup.per_line.resize(raw_lines.size());
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-    const std::string& line = raw_lines[i];
-    auto note_bad = [&](const std::string& name) {
-      sup.meta.push_back({rel_path, i + 1, "bad-suppression",
-                          "unknown rule '" + name + "' in xpuf-lint allow comment"});
-    };
-    for (const std::string& r : parse_allow_file_comment(line)) {
-      if (!is_known_rule(r)) {
-        note_bad(r);
-        continue;
-      }
-      sup.file_wide.insert(r);
-    }
-    const std::vector<std::string> allowed = parse_allow_comment(line);
-    if (allowed.empty()) continue;
-    const bool comment_only = trim(line).rfind("//", 0) == 0;
-    for (const std::string& r : allowed) {
-      if (!is_known_rule(r)) {
-        note_bad(r);
-        continue;
-      }
-      sup.per_line[i].insert(r);
-      if (comment_only && i + 1 < raw_lines.size()) sup.per_line[i + 1].insert(r);
-    }
-  }
-  return sup;
 }
 
 // ---------------------------------------------------------------------------
@@ -271,184 +157,15 @@ const std::regex& vector_bool_use_pattern() {
   return re;
 }
 
-/// Marks, per character of the blanked source, whether it falls inside a
-/// parallel_for / parallel_reduce call (anywhere between the call's opening
-/// parenthesis and its matching close — which covers the lambda body).
-std::vector<bool> mark_parallel_regions(const std::string& code) {
-  std::vector<bool> in_region(code.size(), false);
-  std::vector<int> call_stack;  // paren depth at each open parallel call
-  int paren_depth = 0;
-  std::size_t i = 0;
-  while (i < code.size()) {
-    const char c = code[i];
-    if (ident_char(c)) {
-      std::size_t j = i;
-      while (j < code.size() && ident_char(code[j])) ++j;
-      const std::string word = code.substr(i, j - i);
-      if ((word == "parallel_for" || word == "parallel_reduce") &&
-          (i == 0 || (!ident_char(code[i - 1]) && code[i - 1] != ':'))) {
-        std::size_t k = j;
-        while (k < code.size() && std::isspace(static_cast<unsigned char>(code[k]))) ++k;
-        if (k < code.size() && code[k] == '(') call_stack.push_back(paren_depth);
-      }
-      if (!call_stack.empty())
-        for (std::size_t p = i; p < j; ++p) in_region[p] = true;
-      i = j;
-      continue;
-    }
-    if (c == '(') ++paren_depth;
-    if (c == ')') {
-      --paren_depth;
-      if (!call_stack.empty() && paren_depth == call_stack.back()) call_stack.pop_back();
-    }
-    if (!call_stack.empty()) in_region[i] = true;
-    ++i;
-  }
-  return in_region;
-}
-
 // ---------------------------------------------------------------------------
 // require-guard: function-definition scanner for src/puf//src/sim/ .cpp.
+// (The structural machinery — namespace_scope_functions, parallel-region
+// marking — lives in index/, shared with the semantic passes.)
 
 const std::regex& container_param_pattern() {
   static const std::regex re(
       R"(std::vector\s*<|\bMatrix\b|\bVector\b|\bChallenge\b|\bBatch\b|\bBlock\b|\bScan\b|\bDataset\b|\bstd::span\b|\bstd::size_t\b)");
   return re;
-}
-
-const std::set<std::string>& signature_stop_words() {
-  static const std::set<std::string> kw = {"if",     "for",   "while", "switch",
-                                           "return", "catch", "do",    "else",
-                                           "struct", "class", "enum",  "union"};
-  return kw;
-}
-
-struct FunctionDef {
-  std::size_t line0;      ///< 0-based line of the opening signature.
-  std::string signature;  ///< Text from statement start through the param ')'.
-  std::string params;     ///< First balanced parenthesis group.
-  std::string body;       ///< Text between the function's braces.
-};
-
-/// Blanks preprocessor-directive lines (they are not ;-terminated, so they
-/// would otherwise pollute the statement buffer of the structural pass).
-std::string blank_preprocessor_lines(const std::string& code) {
-  std::string out = code;
-  std::size_t line_start = 0;
-  bool in_directive = false;  // carries across '\'-continued directive lines
-  for (std::size_t i = 0; i <= code.size(); ++i) {
-    if (i == code.size() || code[i] == '\n') {
-      std::size_t j = line_start;
-      while (j < i && std::isspace(static_cast<unsigned char>(code[j]))) ++j;
-      if (j < i && code[j] == '#') in_directive = true;
-      if (in_directive) {
-        for (std::size_t k = line_start; k < i; ++k) out[k] = ' ';
-        std::size_t last = i;
-        while (last > line_start &&
-               std::isspace(static_cast<unsigned char>(code[last - 1])) && code[last - 1] != '\n')
-          --last;
-        in_directive = last > line_start && code[last - 1] == '\\';
-      }
-      line_start = i + 1;
-    }
-  }
-  return out;
-}
-
-/// Extremely small structural pass: tracks namespace nesting on the blanked
-/// source and yields function definitions at namespace scope.
-std::vector<FunctionDef> find_namespace_scope_functions(const std::string& raw_code) {
-  const std::string code = blank_preprocessor_lines(raw_code);
-  std::vector<FunctionDef> out;
-  std::vector<char> scopes;  // 'n' named ns, 'a' anon ns, 'f' function, 'o' other
-  std::string stmt;          // text since last ; { }
-  bool stmt_has_content = false;  // stmt holds a non-whitespace char
-  std::size_t stmt_line0 = 0;
-  std::size_t line0 = 0;
-  auto ns_depth = [&] {
-    return static_cast<std::size_t>(
-        std::count_if(scopes.begin(), scopes.end(), [](char s) { return s == 'n' || s == 'a'; }));
-  };
-  for (std::size_t i = 0; i < code.size(); ++i) {
-    const char c = code[i];
-    if (c == '\n') ++line0;
-    if (c == ';') {
-      stmt.clear();
-      stmt_has_content = false;
-      stmt_line0 = line0 + 1;
-      continue;
-    }
-    if (c == '}') {
-      if (!scopes.empty()) scopes.pop_back();
-      stmt.clear();
-      stmt_has_content = false;
-      stmt_line0 = line0 + 1;
-      continue;
-    }
-    if (c != '{') {
-      // Whitespace accumulates in stmt, so anchor the statement's line on the
-      // first real character, not on stmt.empty().
-      if (!stmt_has_content && !std::isspace(static_cast<unsigned char>(c))) {
-        stmt_line0 = line0;
-        stmt_has_content = true;
-      }
-      stmt.push_back(c);
-      continue;
-    }
-    // Opening brace: classify the scope from the pending statement text.
-    const std::string t = trim(stmt);
-    static const std::regex ns_re(R"(^namespace(\s+[\w:]+)?\s*$)");
-    std::smatch m;
-    char kind = 'o';
-    if (std::regex_match(t, m, ns_re)) {
-      kind = m[1].matched ? 'n' : 'a';
-    } else if (scopes.size() == ns_depth() && t.find('(') != std::string::npos) {
-      // Candidate function definition at namespace scope. Extract the first
-      // balanced paren group and the identifier before it.
-      const std::size_t open = t.find('(');
-      int depth = 0;
-      std::size_t close = std::string::npos;
-      for (std::size_t k = open; k < t.size(); ++k) {
-        if (t[k] == '(') ++depth;
-        if (t[k] == ')' && --depth == 0) {
-          close = k;
-          break;
-        }
-      }
-      std::size_t name_end = open;
-      while (name_end > 0 && std::isspace(static_cast<unsigned char>(t[name_end - 1])))
-        --name_end;
-      std::size_t name_begin = name_end;
-      while (name_begin > 0 && ident_char(t[name_begin - 1])) --name_begin;
-      const std::string name = t.substr(name_begin, name_end - name_begin);
-      const bool in_anon =
-          std::find(scopes.begin(), scopes.end(), 'a') != scopes.end();
-      if (close != std::string::npos && !name.empty() && !in_anon &&
-          !signature_stop_words().count(name) && t.find("operator") == std::string::npos &&
-          t.rfind("static ", 0) != 0 && t.find('=') == std::string::npos) {
-        kind = 'f';
-        FunctionDef def;
-        def.line0 = stmt_line0;
-        def.signature = t.substr(0, close + 1);
-        def.params = t.substr(open + 1, close - open - 1);
-        // Capture the body: from i+1 to the matching close brace.
-        int bdepth = 1;
-        std::size_t j = i + 1;
-        while (j < code.size() && bdepth > 0) {
-          if (code[j] == '{') ++bdepth;
-          if (code[j] == '}') --bdepth;
-          ++j;
-        }
-        def.body = code.substr(i + 1, j - i - 2 < code.size() ? j - i - 2 : 0);
-        out.push_back(std::move(def));
-      }
-    }
-    scopes.push_back(kind);
-    stmt.clear();
-    stmt_has_content = false;
-    stmt_line0 = line0 + 1;
-  }
-  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -498,6 +215,51 @@ std::vector<std::string> parse_allow_file_comment(const std::string& line) {
   std::string rest = trim(line.substr(at + std::string("xpuf-lint:").size()));
   if (rest.rfind("allow-file", 0) != 0) return {};
   return parse_allow_list(line, "allow-file");
+}
+
+std::vector<std::string> parse_guarded_by_comment(const std::string& line) {
+  const std::size_t at = line.find("xpuf-lint:");
+  if (at == std::string::npos) return {};
+  std::string rest = trim(line.substr(at + std::string("xpuf-lint:").size()));
+  if (rest.rfind("guarded-by", 0) != 0) return {};
+  return parse_allow_list(line, "guarded-by");
+}
+
+bool Suppressions::allows(const std::string& rule, std::size_t line0) const {
+  if (file_wide.count(rule)) return true;
+  return line0 < per_line.size() && per_line[line0].count(rule) != 0;
+}
+
+Suppressions build_suppressions(const std::string& rel_path,
+                                const std::vector<std::string>& raw_lines) {
+  Suppressions sup;
+  sup.per_line.resize(raw_lines.size());
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    auto note_bad = [&](const std::string& name) {
+      sup.meta.push_back({rel_path, i + 1, "bad-suppression",
+                          "unknown rule '" + name + "' in xpuf-lint allow comment"});
+    };
+    for (const std::string& r : parse_allow_file_comment(line)) {
+      if (!is_known_rule(r)) {
+        note_bad(r);
+        continue;
+      }
+      sup.file_wide.insert(r);
+    }
+    const std::vector<std::string> allowed = parse_allow_comment(line);
+    if (allowed.empty()) continue;
+    const bool comment_only = trim(line).rfind("//", 0) == 0;
+    for (const std::string& r : allowed) {
+      if (!is_known_rule(r)) {
+        note_bad(r);
+        continue;
+      }
+      sup.per_line[i].insert(r);
+      if (comment_only && i + 1 < raw_lines.size()) sup.per_line[i + 1].insert(r);
+    }
+  }
+  return sup;
 }
 
 void collect_vector_bool_names(const std::string& content, std::set<std::string>& out) {
@@ -637,7 +399,7 @@ std::vector<Violation> lint_source(const std::string& rel_path, const std::strin
       (path_has_prefix(rel_path, "src/puf/") || path_has_prefix(rel_path, "src/sim/")) &&
       rel_path.size() > 4 && rel_path.substr(rel_path.size() - 4) == ".cpp";
   if (guard_scope) {
-    for (const FunctionDef& def : find_namespace_scope_functions(code)) {
+    for (const FunctionDef& def : namespace_scope_functions(code)) {
       if (!std::regex_search(def.params, container_param_pattern())) continue;
       if (def.body.find("XPUF_REQUIRE") != std::string::npos) continue;
       // A body that immediately delegates has its guard in the callee; the
@@ -744,33 +506,7 @@ std::vector<Violation> lint_source(const std::string& rel_path, const std::strin
 }
 
 std::vector<Violation> lint_tree(const std::string& root) {
-  const std::vector<std::string> trees = {"src", "bench", "tests", "tools"};
-  std::vector<std::pair<std::string, std::string>> files;  // rel path, content
-  for (const std::string& tree : trees) {
-    const fs::path dir = fs::path(root) / tree;
-    if (!fs::exists(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
-      std::ifstream in(entry.path(), std::ios::binary);
-      std::ostringstream ss;
-      ss << in.rdbuf();
-      files.emplace_back(fs::relative(entry.path(), root).generic_string(), ss.str());
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  Context ctx;
-  for (const auto& [rel, content] : files)
-    collect_vector_bool_names(content, ctx.vector_bool_names_by_file[rel]);
-
-  std::vector<Violation> out;
-  for (const auto& [rel, content] : files) {
-    std::vector<Violation> v = lint_source(rel, content, ctx);
-    out.insert(out.end(), v.begin(), v.end());
-  }
-  return out;
+  return analyze_project(root).violations;
 }
 
 std::vector<Violation> check_tidy_config(const std::string& path) {

@@ -12,7 +12,7 @@
 // Rules — each suppressible per line via an allow comment (the marker is
 // `xpuf-lint:` followed by `allow(rule, ...)`, or `allow-file(rule, ...)` for
 // a whole file). The syntax examples in this header are themselves parsed, so:
-// xpuf-lint: allow-file(bad-suppression)
+// xpuf-lint: allow-file(bad-suppression, bad-guard-ref)
 //
 //   raw-rng              std::mt19937 / rand() / srand() / std::*_distribution
 //                        outside src/common/rng.{hpp,cpp}
@@ -39,6 +39,32 @@
 //                        integer tokens (int, long, size_t, ...) — the frame
 //                        codec serializes fixed-width fields through the
 //                        explicit little-endian put_/read_ helpers
+//
+// Semantic rules (cross-TU, run by the engine in engine.hpp over the project
+// index — see passes/passes.hpp):
+//
+//   layering             include edge violating the declared module DAG
+//                        (common <- linalg/crypto <- sim <- ml <- puf <-
+//                        analysis/net), or a cycle in the module graph
+//   parallel-rng         unkeyed Rng construction, fork()/fork_base(), or a
+//                        draw from an outer generator inside a parallel_for /
+//                        parallel_reduce body
+//   unordered-fp         std::unordered_* iteration feeding an accumulation;
+//                        hash order is unspecified, FP results drift
+//   wire-pairing         put_uN without a width-matching read_uN, encode/
+//                        decode field sequences out of sync, or reserve()
+//                        constants drifted from the fixed frame layout
+//   metrics-accounting   a src/ counter registration that is never
+//                        incremented, or incremented but never audited
+//   bad-guard-ref        a guarded-by(callee) marker whose claim the index
+//                        cannot prove (no call to an XPUF_REQUIRE-bearing
+//                        definition), or one discharging nothing
+//
+// Besides allow comments there is a verified marker form,
+// `// xpuf-lint: guarded-by(callee)`, for require-guard findings whose
+// precondition check lives in the callee: the engine discharges the finding
+// only after proving the claim against the symbol index, so it costs no
+// suppression budget.
 #pragma once
 
 #include <cstddef>
@@ -77,6 +103,24 @@ std::vector<std::string> parse_allow_comment(const std::string& line);
 /// Same for the file-wide form `// xpuf-lint: allow-file(a, b)`.
 std::vector<std::string> parse_allow_file_comment(const std::string& line);
 
+/// Parses `// xpuf-lint: guarded-by(callee_a, callee_b)` — the names are
+/// function identifiers, not rule names. Verification happens in the engine.
+std::vector<std::string> parse_guarded_by_comment(const std::string& line);
+
+/// Per-line suppression sets for one file: an allow comment covers its own
+/// line; a comment-only allow line additionally covers the next line.
+/// Unknown rule names surface in `meta` as bad-suppression findings.
+struct Suppressions {
+  std::set<std::string> file_wide;
+  std::vector<std::set<std::string>> per_line;  ///< Indexed by 0-based line.
+  std::vector<Violation> meta;
+
+  bool allows(const std::string& rule, std::size_t line0) const;
+};
+
+Suppressions build_suppressions(const std::string& rel_path,
+                                const std::vector<std::string>& raw_lines);
+
 /// Cross-file knowledge the per-file pass needs: identifiers declared with
 /// type vector<bool> (possibly nested), per file, so a .cpp using a
 /// header-declared bit-packed field is still caught inside parallel bodies.
@@ -101,9 +145,11 @@ void collect_vector_bool_names(const std::string& content, std::set<std::string>
 std::vector<Violation> lint_source(const std::string& rel_path, const std::string& content,
                                    const Context& ctx);
 
-/// Walks `root`'s source trees (src/, bench/, tests/, tools/ — .cpp and
-/// .hpp), builds the Context in a first pass, and lints every file.
-/// Violations come back sorted by (file, line).
+/// Runs the full semantic engine (per-file rules plus the cross-TU passes,
+/// with suppression and guarded-by policy applied) over `root`'s source
+/// trees and returns the surviving violations sorted by (file, line).
+/// Equivalent to analyze_project(root).violations — see engine.hpp for the
+/// report-with-stats form.
 std::vector<Violation> lint_tree(const std::string& root);
 
 /// Sanity-checks a .clang-tidy config: file exists, has a non-empty Checks

@@ -1,0 +1,113 @@
+#include "passes/passes.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace xpuf::lint {
+
+namespace {
+
+/// The declared dependency closure: module -> modules it may include.
+/// Kept transitively closed so the check is a single set lookup per edge.
+const std::map<std::string, std::set<std::string>>& layer_dag() {
+  static const std::map<std::string, std::set<std::string>> dag = {
+      {"common", {}},
+      {"linalg", {"common"}},
+      {"crypto", {"common"}},
+      {"sim", {"common", "linalg", "crypto"}},
+      {"ml", {"common", "linalg", "crypto", "sim"}},
+      {"puf", {"common", "linalg", "crypto", "sim", "ml"}},
+      {"analysis", {"common", "linalg", "crypto", "sim", "ml", "puf"}},
+      {"net", {"common", "linalg", "crypto", "sim", "ml", "puf"}},
+  };
+  return dag;
+}
+
+}  // namespace
+
+std::vector<Violation> pass_layering(const ProjectIndex& index) {
+  std::vector<Violation> out;
+  // Observed module-level edges (cross-module, src/-internal only), with one
+  // representative include edge each for violation anchoring.
+  std::map<std::pair<std::string, std::string>, const IncludeEdge*> observed;
+  for (const IncludeEdge& e : index.includes) {
+    const std::string from = ProjectIndex::module_of(e.from);
+    const std::string to = ProjectIndex::module_of(e.to);
+    if (from.empty() || to.empty() || from == to) continue;
+    if (!observed.count({from, to})) observed[{from, to}] = &e;
+
+    const auto allowed = layer_dag().find(from);
+    if (allowed == layer_dag().end()) {
+      out.push_back({e.from, e.line, "layering",
+                     "module '" + from + "' is not in the declared layering DAG; add it "
+                     "to the layer table in tools/xpuf_lint/passes/layering.cpp"});
+      continue;
+    }
+    if (!layer_dag().count(to)) {
+      out.push_back({e.from, e.line, "layering",
+                     "include of undeclared module '" + to + "' from '" + from + "'"});
+      continue;
+    }
+    if (!allowed->second.count(to)) {
+      out.push_back({e.from, e.line, "layering",
+                     "illegal layer edge " + from + " -> " + to + ": '" + from +
+                         "' may only include " +
+                         (allowed->second.empty()
+                              ? std::string("nothing")
+                              : [&] {
+                                  std::string s;
+                                  for (const std::string& m : allowed->second)
+                                    s += (s.empty() ? "" : ", ") + m;
+                                  return s;
+                                }())});
+    }
+  }
+
+  // Cycle detection over the observed module graph (colors: 0 white, 1 on
+  // stack, 2 done). The DAG table already forbids cycles among declared
+  // modules, but fixture trees and future modules can observe edges the
+  // table does not know; a cycle must be loud either way.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [edge, site] : observed) adj[edge.first].push_back(edge.second);
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  // Iterative DFS with an explicit parent chain so the cycle path is
+  // reconstructible.
+  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    stack.push_back(u);
+    for (const std::string& v : adj[u]) {
+      if (color[v] == 1) {
+        // Found a back edge u -> v: the cycle is the stack suffix from v.
+        std::string path;
+        bool in_cycle = false;
+        for (const std::string& m : stack) {
+          if (m == v) in_cycle = true;
+          if (in_cycle) path += m + " -> ";
+        }
+        path += v;
+        if (reported.insert(path).second) {
+          const IncludeEdge* site = observed[{u, v}];
+          out.push_back({site->from, site->line, "layering", "module cycle: " + path});
+        }
+      } else if (color[v] == 0) {
+        dfs(v);
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+  };
+  for (const auto& [u, _] : adj)
+    if (color[u] == 0) dfs(u);
+
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.message) < std::tie(b.file, b.line, b.message);
+  });
+  return out;
+}
+
+}  // namespace xpuf::lint

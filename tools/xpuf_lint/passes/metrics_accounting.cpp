@@ -1,0 +1,80 @@
+#include "passes/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <string>
+
+namespace xpuf::lint {
+
+namespace {
+
+bool path_has_prefix(const std::string& path, const std::string& prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+/// True iff `file` has a statement mentioning `var` (as its own identifier,
+/// not a member access) that ends in a `.method(` call — this admits both
+/// the direct `var.add(1)` form and selection expressions like
+/// `(ok ? approved : denied).add(1)`.
+bool file_calls(const SourceFile& f, const std::string& var, const std::string& method) {
+  const std::regex re("(^|[^\\w.])" + var + R"(\b[^;]*\.\s*)" + method + R"(\s*\()");
+  return std::regex_search(f.code, re);
+}
+
+}  // namespace
+
+std::vector<Violation> pass_metrics_accounting(const ProjectIndex& index) {
+  // Group registration sites of src/ counters by metric name.
+  std::map<std::string, std::vector<const CounterSite*>> by_name;
+  for (const CounterSite& site : index.counters)
+    if (path_has_prefix(site.file, "src/")) by_name[site.name].push_back(&site);
+
+  std::vector<Violation> out;
+  for (const auto& [name, sites] : by_name) {
+    bool incremented = false;
+    bool audited = false;
+    for (const CounterSite* site : sites) {
+      if (site->inline_add) incremented = true;
+      if (site->inline_total) audited = true;
+      if (site->bound_var.empty()) continue;
+      const SourceFile* f = index.file(site->file);
+      if (!f) continue;
+      if (file_calls(*f, site->bound_var, "add")) incremented = true;
+      if (file_calls(*f, site->bound_var, "total")) audited = true;
+    }
+    // An audit may also live outside src/: a tests/ or bench/ file that
+    // names the metric (snapshot lookups, zero-drift ledgers) pins its value
+    // to an independently-computed expectation.
+    if (!audited) {
+      const std::string quoted = "\"" + name + "\"";
+      for (const SourceFile& f : index.files) {
+        if (!path_has_prefix(f.rel_path, "tests/") && !path_has_prefix(f.rel_path, "bench/"))
+          continue;
+        if (f.code_with_strings.find(quoted) != std::string::npos) {
+          audited = true;
+          break;
+        }
+      }
+    }
+
+    const CounterSite* anchor = sites.front();
+    if (!incremented) {
+      out.push_back({anchor->file, anchor->line, "metrics-accounting",
+                     "counter '" + name + "' is registered but never incremented; dead "
+                     "metrics hide real gaps in the ledger — wire an add() or delete it"});
+    } else if (!audited) {
+      out.push_back({anchor->file, anchor->line, "metrics-accounting",
+                     "counter '" + name + "' is incremented but its value is never "
+                     "audited; add a tests//bench/ check that pins it to an "
+                     "independently-computed expectation (or read its total in a "
+                     "snapshot consumer)"});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return std::tie(a.file, a.line, a.message) < std::tie(b.file, b.line, b.message);
+  });
+  return out;
+}
+
+}  // namespace xpuf::lint
