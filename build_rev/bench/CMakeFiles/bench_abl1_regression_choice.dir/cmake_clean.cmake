@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl1_regression_choice.dir/bench_abl1_regression_choice.cpp.o"
+  "CMakeFiles/bench_abl1_regression_choice.dir/bench_abl1_regression_choice.cpp.o.d"
+  "bench_abl1_regression_choice"
+  "bench_abl1_regression_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl1_regression_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

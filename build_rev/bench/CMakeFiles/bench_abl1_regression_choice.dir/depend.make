@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_abl1_regression_choice.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl2_threshold_categories.dir/bench_abl2_threshold_categories.cpp.o"
+  "CMakeFiles/bench_abl2_threshold_categories.dir/bench_abl2_threshold_categories.cpp.o.d"
+  "bench_abl2_threshold_categories"
+  "bench_abl2_threshold_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl2_threshold_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl4_aging.dir/bench_abl4_aging.cpp.o"
+  "CMakeFiles/bench_abl4_aging.dir/bench_abl4_aging.cpp.o.d"
+  "bench_abl4_aging"
+  "bench_abl4_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl4_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enroll_throughput.dir/bench_enroll_throughput.cpp.o"
+  "CMakeFiles/bench_enroll_throughput.dir/bench_enroll_throughput.cpp.o.d"
+  "bench_enroll_throughput"
+  "bench_enroll_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enroll_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext1_noise_bifurcation.dir/bench_ext1_noise_bifurcation.cpp.o"
+  "CMakeFiles/bench_ext1_noise_bifurcation.dir/bench_ext1_noise_bifurcation.cpp.o.d"
+  "bench_ext1_noise_bifurcation"
+  "bench_ext1_noise_bifurcation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext1_noise_bifurcation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

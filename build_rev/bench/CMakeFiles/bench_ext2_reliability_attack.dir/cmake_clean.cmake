@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext2_reliability_attack.dir/bench_ext2_reliability_attack.cpp.o"
+  "CMakeFiles/bench_ext2_reliability_attack.dir/bench_ext2_reliability_attack.cpp.o.d"
+  "bench_ext2_reliability_attack"
+  "bench_ext2_reliability_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext2_reliability_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext3_key_generation.dir/bench_ext3_key_generation.cpp.o"
+  "CMakeFiles/bench_ext3_key_generation.dir/bench_ext3_key_generation.cpp.o.d"
+  "bench_ext3_key_generation"
+  "bench_ext3_key_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext3_key_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

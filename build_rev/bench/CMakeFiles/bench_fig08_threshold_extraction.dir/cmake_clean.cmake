@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_threshold_extraction.dir/bench_fig08_threshold_extraction.cpp.o"
+  "CMakeFiles/bench_fig08_threshold_extraction.dir/bench_fig08_threshold_extraction.cpp.o.d"
+  "bench_fig08_threshold_extraction"
+  "bench_fig08_threshold_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_threshold_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_beta_nominal.dir/bench_fig09_beta_nominal.cpp.o"
+  "CMakeFiles/bench_fig09_beta_nominal.dir/bench_fig09_beta_nominal.cpp.o.d"
+  "bench_fig09_beta_nominal"
+  "bench_fig09_beta_nominal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_beta_nominal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

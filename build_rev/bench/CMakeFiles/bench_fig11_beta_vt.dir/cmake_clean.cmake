@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_beta_vt.dir/bench_fig11_beta_vt.cpp.o"
+  "CMakeFiles/bench_fig11_beta_vt.dir/bench_fig11_beta_vt.cpp.o.d"
+  "bench_fig11_beta_vt"
+  "bench_fig11_beta_vt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_beta_vt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_stable_predicted.dir/bench_fig12_stable_predicted.cpp.o"
+  "CMakeFiles/bench_fig12_stable_predicted.dir/bench_fig12_stable_predicted.cpp.o.d"
+  "bench_fig12_stable_predicted"
+  "bench_fig12_stable_predicted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_stable_predicted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

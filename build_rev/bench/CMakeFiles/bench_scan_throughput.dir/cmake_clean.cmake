@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan_throughput.dir/bench_scan_throughput.cpp.o"
+  "CMakeFiles/bench_scan_throughput.dir/bench_scan_throughput.cpp.o.d"
+  "bench_scan_throughput"
+  "bench_scan_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_service_load.dir/bench_service_load.cpp.o"
+  "CMakeFiles/bench_service_load.dir/bench_service_load.cpp.o.d"
+  "bench_service_load"
+  "bench_service_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_service_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tabB_authentication.dir/bench_tabB_authentication.cpp.o"
+  "CMakeFiles/bench_tabB_authentication.dir/bench_tabB_authentication.cpp.o.d"
+  "bench_tabB_authentication"
+  "bench_tabB_authentication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tabB_authentication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

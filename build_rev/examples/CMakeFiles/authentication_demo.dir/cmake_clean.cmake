@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authentication_demo.dir/authentication_demo.cpp.o"
+  "CMakeFiles/authentication_demo.dir/authentication_demo.cpp.o.d"
+  "authentication_demo"
+  "authentication_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authentication_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

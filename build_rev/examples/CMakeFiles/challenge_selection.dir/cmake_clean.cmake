@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/challenge_selection.dir/challenge_selection.cpp.o"
+  "CMakeFiles/challenge_selection.dir/challenge_selection.cpp.o.d"
+  "challenge_selection"
+  "challenge_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/challenge_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

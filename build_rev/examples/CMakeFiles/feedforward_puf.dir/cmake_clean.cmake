@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedforward_puf.dir/feedforward_puf.cpp.o"
+  "CMakeFiles/feedforward_puf.dir/feedforward_puf.cpp.o.d"
+  "feedforward_puf"
+  "feedforward_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedforward_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for feedforward_puf.
+# This may be replaced when dependencies are built.

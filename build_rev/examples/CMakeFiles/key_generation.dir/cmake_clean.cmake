@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_generation.dir/key_generation.cpp.o"
+  "CMakeFiles/key_generation.dir/key_generation.cpp.o.d"
+  "key_generation"
+  "key_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modeling_attack.dir/modeling_attack.cpp.o"
+  "CMakeFiles/modeling_attack.dir/modeling_attack.cpp.o.d"
+  "modeling_attack"
+  "modeling_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modeling_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

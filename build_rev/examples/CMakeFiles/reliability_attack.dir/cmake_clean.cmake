@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_attack.dir/reliability_attack.cpp.o"
+  "CMakeFiles/reliability_attack.dir/reliability_attack.cpp.o.d"
+  "reliability_attack"
+  "reliability_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

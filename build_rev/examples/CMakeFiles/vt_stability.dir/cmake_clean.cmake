@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vt_stability.dir/vt_stability.cpp.o"
+  "CMakeFiles/vt_stability.dir/vt_stability.cpp.o.d"
+  "vt_stability"
+  "vt_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vt_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/xpuf_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/xpuf_analysis.dir/histogram.cpp.o"
+  "CMakeFiles/xpuf_analysis.dir/histogram.cpp.o.d"
+  "CMakeFiles/xpuf_analysis.dir/puf_metrics.cpp.o"
+  "CMakeFiles/xpuf_analysis.dir/puf_metrics.cpp.o.d"
+  "CMakeFiles/xpuf_analysis.dir/randomness.cpp.o"
+  "CMakeFiles/xpuf_analysis.dir/randomness.cpp.o.d"
+  "libxpuf_analysis.a"
+  "libxpuf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_common.dir/cli.cpp.o"
+  "CMakeFiles/xpuf_common.dir/cli.cpp.o.d"
+  "CMakeFiles/xpuf_common.dir/csv.cpp.o"
+  "CMakeFiles/xpuf_common.dir/csv.cpp.o.d"
+  "CMakeFiles/xpuf_common.dir/log.cpp.o"
+  "CMakeFiles/xpuf_common.dir/log.cpp.o.d"
+  "CMakeFiles/xpuf_common.dir/math.cpp.o"
+  "CMakeFiles/xpuf_common.dir/math.cpp.o.d"
+  "CMakeFiles/xpuf_common.dir/metrics.cpp.o"
+  "CMakeFiles/xpuf_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/xpuf_common.dir/parallel.cpp.o"
+  "CMakeFiles/xpuf_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/xpuf_common.dir/rng.cpp.o"
+  "CMakeFiles/xpuf_common.dir/rng.cpp.o.d"
+  "CMakeFiles/xpuf_common.dir/table.cpp.o"
+  "CMakeFiles/xpuf_common.dir/table.cpp.o.d"
+  "CMakeFiles/xpuf_common.dir/trace.cpp.o"
+  "CMakeFiles/xpuf_common.dir/trace.cpp.o.d"
+  "libxpuf_common.a"
+  "libxpuf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

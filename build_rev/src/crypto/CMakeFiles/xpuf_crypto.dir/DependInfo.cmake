@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bch.cpp" "src/crypto/CMakeFiles/xpuf_crypto.dir/bch.cpp.o" "gcc" "src/crypto/CMakeFiles/xpuf_crypto.dir/bch.cpp.o.d"
+  "/root/repo/src/crypto/gf2m.cpp" "src/crypto/CMakeFiles/xpuf_crypto.dir/gf2m.cpp.o" "gcc" "src/crypto/CMakeFiles/xpuf_crypto.dir/gf2m.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/xpuf_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/xpuf_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/common/CMakeFiles/xpuf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_crypto.dir/bch.cpp.o"
+  "CMakeFiles/xpuf_crypto.dir/bch.cpp.o.d"
+  "CMakeFiles/xpuf_crypto.dir/gf2m.cpp.o"
+  "CMakeFiles/xpuf_crypto.dir/gf2m.cpp.o.d"
+  "CMakeFiles/xpuf_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/xpuf_crypto.dir/sha256.cpp.o.d"
+  "libxpuf_crypto.a"
+  "libxpuf_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/xpuf_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/xpuf_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/xpuf_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/xpuf_linalg.dir/least_squares.cpp.o"
+  "CMakeFiles/xpuf_linalg.dir/least_squares.cpp.o.d"
+  "CMakeFiles/xpuf_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/xpuf_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/xpuf_linalg.dir/qr.cpp.o"
+  "CMakeFiles/xpuf_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/xpuf_linalg.dir/vector.cpp.o"
+  "CMakeFiles/xpuf_linalg.dir/vector.cpp.o.d"
+  "libxpuf_linalg.a"
+  "libxpuf_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

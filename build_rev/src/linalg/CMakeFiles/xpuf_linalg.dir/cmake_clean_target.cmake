@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxpuf_linalg.a"
+)

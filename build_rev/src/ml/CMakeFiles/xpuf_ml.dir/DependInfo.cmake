@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adam.cpp" "src/ml/CMakeFiles/xpuf_ml.dir/adam.cpp.o" "gcc" "src/ml/CMakeFiles/xpuf_ml.dir/adam.cpp.o.d"
+  "/root/repo/src/ml/cmaes.cpp" "src/ml/CMakeFiles/xpuf_ml.dir/cmaes.cpp.o" "gcc" "src/ml/CMakeFiles/xpuf_ml.dir/cmaes.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/xpuf_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/xpuf_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/lbfgs.cpp" "src/ml/CMakeFiles/xpuf_ml.dir/lbfgs.cpp.o" "gcc" "src/ml/CMakeFiles/xpuf_ml.dir/lbfgs.cpp.o.d"
+  "/root/repo/src/ml/linear_regression.cpp" "src/ml/CMakeFiles/xpuf_ml.dir/linear_regression.cpp.o" "gcc" "src/ml/CMakeFiles/xpuf_ml.dir/linear_regression.cpp.o.d"
+  "/root/repo/src/ml/logistic_regression.cpp" "src/ml/CMakeFiles/xpuf_ml.dir/logistic_regression.cpp.o" "gcc" "src/ml/CMakeFiles/xpuf_ml.dir/logistic_regression.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/xpuf_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/xpuf_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/xpuf_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/xpuf_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/xpuf_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/xpuf_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/streaming.cpp" "src/ml/CMakeFiles/xpuf_ml.dir/streaming.cpp.o" "gcc" "src/ml/CMakeFiles/xpuf_ml.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/linalg/CMakeFiles/xpuf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/common/CMakeFiles/xpuf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

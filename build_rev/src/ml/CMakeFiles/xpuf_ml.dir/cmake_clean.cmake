@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_ml.dir/adam.cpp.o"
+  "CMakeFiles/xpuf_ml.dir/adam.cpp.o.d"
+  "CMakeFiles/xpuf_ml.dir/cmaes.cpp.o"
+  "CMakeFiles/xpuf_ml.dir/cmaes.cpp.o.d"
+  "CMakeFiles/xpuf_ml.dir/dataset.cpp.o"
+  "CMakeFiles/xpuf_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/xpuf_ml.dir/lbfgs.cpp.o"
+  "CMakeFiles/xpuf_ml.dir/lbfgs.cpp.o.d"
+  "CMakeFiles/xpuf_ml.dir/linear_regression.cpp.o"
+  "CMakeFiles/xpuf_ml.dir/linear_regression.cpp.o.d"
+  "CMakeFiles/xpuf_ml.dir/logistic_regression.cpp.o"
+  "CMakeFiles/xpuf_ml.dir/logistic_regression.cpp.o.d"
+  "CMakeFiles/xpuf_ml.dir/metrics.cpp.o"
+  "CMakeFiles/xpuf_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/xpuf_ml.dir/mlp.cpp.o"
+  "CMakeFiles/xpuf_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/xpuf_ml.dir/scaler.cpp.o"
+  "CMakeFiles/xpuf_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/xpuf_ml.dir/streaming.cpp.o"
+  "CMakeFiles/xpuf_ml.dir/streaming.cpp.o.d"
+  "libxpuf_ml.a"
+  "libxpuf_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_net.dir/service.cpp.o"
+  "CMakeFiles/xpuf_net.dir/service.cpp.o.d"
+  "CMakeFiles/xpuf_net.dir/session.cpp.o"
+  "CMakeFiles/xpuf_net.dir/session.cpp.o.d"
+  "CMakeFiles/xpuf_net.dir/transport.cpp.o"
+  "CMakeFiles/xpuf_net.dir/transport.cpp.o.d"
+  "CMakeFiles/xpuf_net.dir/wire.cpp.o"
+  "CMakeFiles/xpuf_net.dir/wire.cpp.o.d"
+  "libxpuf_net.a"
+  "libxpuf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

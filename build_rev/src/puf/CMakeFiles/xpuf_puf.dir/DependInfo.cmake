@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/puf/attack.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/attack.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/attack.cpp.o.d"
+  "/root/repo/src/puf/attack_reliability.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/attack_reliability.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/attack_reliability.cpp.o.d"
+  "/root/repo/src/puf/authentication.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/authentication.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/authentication.cpp.o.d"
+  "/root/repo/src/puf/database.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/database.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/database.cpp.o.d"
+  "/root/repo/src/puf/enrollment.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/enrollment.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/enrollment.cpp.o.d"
+  "/root/repo/src/puf/extensions/lockdown.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/extensions/lockdown.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/extensions/lockdown.cpp.o.d"
+  "/root/repo/src/puf/extensions/noise_bifurcation.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/extensions/noise_bifurcation.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/extensions/noise_bifurcation.cpp.o.d"
+  "/root/repo/src/puf/key_generation.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/key_generation.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/key_generation.cpp.o.d"
+  "/root/repo/src/puf/model.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/model.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/model.cpp.o.d"
+  "/root/repo/src/puf/model_store.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/model_store.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/model_store.cpp.o.d"
+  "/root/repo/src/puf/selection.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/selection.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/selection.cpp.o.d"
+  "/root/repo/src/puf/stability.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/stability.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/stability.cpp.o.d"
+  "/root/repo/src/puf/stabilization.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/stabilization.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/stabilization.cpp.o.d"
+  "/root/repo/src/puf/threshold_adjust.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/threshold_adjust.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/threshold_adjust.cpp.o.d"
+  "/root/repo/src/puf/transform.cpp" "src/puf/CMakeFiles/xpuf_puf.dir/transform.cpp.o" "gcc" "src/puf/CMakeFiles/xpuf_puf.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/sim/CMakeFiles/xpuf_sim.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/ml/CMakeFiles/xpuf_ml.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/crypto/CMakeFiles/xpuf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/linalg/CMakeFiles/xpuf_linalg.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/common/CMakeFiles/xpuf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

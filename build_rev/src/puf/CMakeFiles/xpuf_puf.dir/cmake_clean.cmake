@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_puf.dir/attack.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/attack.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/attack_reliability.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/attack_reliability.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/authentication.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/authentication.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/database.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/database.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/enrollment.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/enrollment.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/extensions/lockdown.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/extensions/lockdown.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/extensions/noise_bifurcation.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/extensions/noise_bifurcation.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/key_generation.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/key_generation.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/model.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/model.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/model_store.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/model_store.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/selection.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/selection.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/stability.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/stability.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/stabilization.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/stabilization.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/threshold_adjust.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/threshold_adjust.cpp.o.d"
+  "CMakeFiles/xpuf_puf.dir/transform.cpp.o"
+  "CMakeFiles/xpuf_puf.dir/transform.cpp.o.d"
+  "libxpuf_puf.a"
+  "libxpuf_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

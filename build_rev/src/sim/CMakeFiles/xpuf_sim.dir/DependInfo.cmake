@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chip.cpp" "src/sim/CMakeFiles/xpuf_sim.dir/chip.cpp.o" "gcc" "src/sim/CMakeFiles/xpuf_sim.dir/chip.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/xpuf_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/xpuf_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/xpuf_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/xpuf_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/feedforward.cpp" "src/sim/CMakeFiles/xpuf_sim.dir/feedforward.cpp.o" "gcc" "src/sim/CMakeFiles/xpuf_sim.dir/feedforward.cpp.o.d"
+  "/root/repo/src/sim/fuse.cpp" "src/sim/CMakeFiles/xpuf_sim.dir/fuse.cpp.o" "gcc" "src/sim/CMakeFiles/xpuf_sim.dir/fuse.cpp.o.d"
+  "/root/repo/src/sim/interpose.cpp" "src/sim/CMakeFiles/xpuf_sim.dir/interpose.cpp.o" "gcc" "src/sim/CMakeFiles/xpuf_sim.dir/interpose.cpp.o.d"
+  "/root/repo/src/sim/linear.cpp" "src/sim/CMakeFiles/xpuf_sim.dir/linear.cpp.o" "gcc" "src/sim/CMakeFiles/xpuf_sim.dir/linear.cpp.o.d"
+  "/root/repo/src/sim/population.cpp" "src/sim/CMakeFiles/xpuf_sim.dir/population.cpp.o" "gcc" "src/sim/CMakeFiles/xpuf_sim.dir/population.cpp.o.d"
+  "/root/repo/src/sim/tester.cpp" "src/sim/CMakeFiles/xpuf_sim.dir/tester.cpp.o" "gcc" "src/sim/CMakeFiles/xpuf_sim.dir/tester.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build_rev/src/common/CMakeFiles/xpuf_common.dir/DependInfo.cmake"
+  "/root/repo/build_rev/src/linalg/CMakeFiles/xpuf_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

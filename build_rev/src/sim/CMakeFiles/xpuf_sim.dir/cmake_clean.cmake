@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_sim.dir/chip.cpp.o"
+  "CMakeFiles/xpuf_sim.dir/chip.cpp.o.d"
+  "CMakeFiles/xpuf_sim.dir/device.cpp.o"
+  "CMakeFiles/xpuf_sim.dir/device.cpp.o.d"
+  "CMakeFiles/xpuf_sim.dir/environment.cpp.o"
+  "CMakeFiles/xpuf_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/xpuf_sim.dir/feedforward.cpp.o"
+  "CMakeFiles/xpuf_sim.dir/feedforward.cpp.o.d"
+  "CMakeFiles/xpuf_sim.dir/fuse.cpp.o"
+  "CMakeFiles/xpuf_sim.dir/fuse.cpp.o.d"
+  "CMakeFiles/xpuf_sim.dir/interpose.cpp.o"
+  "CMakeFiles/xpuf_sim.dir/interpose.cpp.o.d"
+  "CMakeFiles/xpuf_sim.dir/linear.cpp.o"
+  "CMakeFiles/xpuf_sim.dir/linear.cpp.o.d"
+  "CMakeFiles/xpuf_sim.dir/population.cpp.o"
+  "CMakeFiles/xpuf_sim.dir/population.cpp.o.d"
+  "CMakeFiles/xpuf_sim.dir/tester.cpp.o"
+  "CMakeFiles/xpuf_sim.dir/tester.cpp.o.d"
+  "libxpuf_sim.a"
+  "libxpuf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

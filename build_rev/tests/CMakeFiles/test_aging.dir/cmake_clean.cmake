@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aging.dir/test_aging.cpp.o"
+  "CMakeFiles/test_aging.dir/test_aging.cpp.o.d"
+  "test_aging"
+  "test_aging.pdb"
+  "test_aging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_reliability.dir/test_attack_reliability.cpp.o"
+  "CMakeFiles/test_attack_reliability.dir/test_attack_reliability.cpp.o.d"
+  "test_attack_reliability"
+  "test_attack_reliability.pdb"
+  "test_attack_reliability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_authentication.dir/test_authentication.cpp.o"
+  "CMakeFiles/test_authentication.dir/test_authentication.cpp.o.d"
+  "test_authentication"
+  "test_authentication.pdb"
+  "test_authentication[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_authentication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmaes.dir/test_cmaes.cpp.o"
+  "CMakeFiles/test_cmaes.dir/test_cmaes.cpp.o.d"
+  "test_cmaes"
+  "test_cmaes.pdb"
+  "test_cmaes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmaes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_database.dir/test_database.cpp.o"
+  "CMakeFiles/test_database.dir/test_database.cpp.o.d"
+  "test_database"
+  "test_database.pdb"
+  "test_database[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enrollment.dir/test_enrollment.cpp.o"
+  "CMakeFiles/test_enrollment.dir/test_enrollment.cpp.o.d"
+  "test_enrollment"
+  "test_enrollment.pdb"
+  "test_enrollment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enrollment_sweep.dir/test_enrollment_sweep.cpp.o"
+  "CMakeFiles/test_enrollment_sweep.dir/test_enrollment_sweep.cpp.o.d"
+  "test_enrollment_sweep"
+  "test_enrollment_sweep.pdb"
+  "test_enrollment_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enrollment_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

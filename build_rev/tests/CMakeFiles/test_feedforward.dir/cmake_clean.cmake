@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feedforward.dir/test_feedforward.cpp.o"
+  "CMakeFiles/test_feedforward.dir/test_feedforward.cpp.o.d"
+  "test_feedforward"
+  "test_feedforward.pdb"
+  "test_feedforward[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feedforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

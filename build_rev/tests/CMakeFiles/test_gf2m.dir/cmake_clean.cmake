@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf2m.dir/test_gf2m.cpp.o"
+  "CMakeFiles/test_gf2m.dir/test_gf2m.cpp.o.d"
+  "test_gf2m"
+  "test_gf2m.pdb"
+  "test_gf2m[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf2m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interpose.dir/test_interpose.cpp.o"
+  "CMakeFiles/test_interpose.dir/test_interpose.cpp.o.d"
+  "test_interpose"
+  "test_interpose.pdb"
+  "test_interpose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key_generation.dir/test_key_generation.cpp.o"
+  "CMakeFiles/test_key_generation.dir/test_key_generation.cpp.o.d"
+  "test_key_generation"
+  "test_key_generation.pdb"
+  "test_key_generation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbfgs.dir/test_lbfgs.cpp.o"
+  "CMakeFiles/test_lbfgs.dir/test_lbfgs.cpp.o.d"
+  "test_lbfgs"
+  "test_lbfgs.pdb"
+  "test_lbfgs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbfgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

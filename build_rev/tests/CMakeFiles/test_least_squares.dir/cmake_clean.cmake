@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_least_squares.dir/test_least_squares.cpp.o"
+  "CMakeFiles/test_least_squares.dir/test_least_squares.cpp.o.d"
+  "test_least_squares"
+  "test_least_squares.pdb"
+  "test_least_squares[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_least_squares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_regression.dir/test_linear_regression.cpp.o"
+  "CMakeFiles/test_linear_regression.dir/test_linear_regression.cpp.o.d"
+  "test_linear_regression"
+  "test_linear_regression.pdb"
+  "test_linear_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

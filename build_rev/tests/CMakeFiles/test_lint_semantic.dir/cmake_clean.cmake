@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lint_semantic.dir/test_lint_semantic.cpp.o"
+  "CMakeFiles/test_lint_semantic.dir/test_lint_semantic.cpp.o.d"
+  "test_lint_semantic"
+  "test_lint_semantic.pdb"
+  "test_lint_semantic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lint_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

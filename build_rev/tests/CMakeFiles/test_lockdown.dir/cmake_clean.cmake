@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lockdown.dir/test_lockdown.cpp.o"
+  "CMakeFiles/test_lockdown.dir/test_lockdown.cpp.o.d"
+  "test_lockdown"
+  "test_lockdown.pdb"
+  "test_lockdown[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lockdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logistic_regression.dir/test_logistic_regression.cpp.o"
+  "CMakeFiles/test_logistic_regression.dir/test_logistic_regression.cpp.o.d"
+  "test_logistic_regression"
+  "test_logistic_regression.pdb"
+  "test_logistic_regression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logistic_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

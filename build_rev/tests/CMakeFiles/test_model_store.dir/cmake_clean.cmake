@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_store.dir/test_model_store.cpp.o"
+  "CMakeFiles/test_model_store.dir/test_model_store.cpp.o.d"
+  "test_model_store"
+  "test_model_store.pdb"
+  "test_model_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_bifurcation.dir/test_noise_bifurcation.cpp.o"
+  "CMakeFiles/test_noise_bifurcation.dir/test_noise_bifurcation.cpp.o.d"
+  "test_noise_bifurcation"
+  "test_noise_bifurcation.pdb"
+  "test_noise_bifurcation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_bifurcation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

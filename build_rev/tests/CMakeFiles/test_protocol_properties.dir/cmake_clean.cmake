@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_properties.dir/test_protocol_properties.cpp.o"
+  "CMakeFiles/test_protocol_properties.dir/test_protocol_properties.cpp.o.d"
+  "test_protocol_properties"
+  "test_protocol_properties.pdb"
+  "test_protocol_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_puf_metrics.dir/test_puf_metrics.cpp.o"
+  "CMakeFiles/test_puf_metrics.dir/test_puf_metrics.cpp.o.d"
+  "test_puf_metrics"
+  "test_puf_metrics.pdb"
+  "test_puf_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_puf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

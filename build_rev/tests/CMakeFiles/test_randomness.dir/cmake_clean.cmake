@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_randomness.dir/test_randomness.cpp.o"
+  "CMakeFiles/test_randomness.dir/test_randomness.cpp.o.d"
+  "test_randomness"
+  "test_randomness.pdb"
+  "test_randomness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_randomness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

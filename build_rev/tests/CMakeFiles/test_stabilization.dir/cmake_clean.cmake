@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stabilization.dir/test_stabilization.cpp.o"
+  "CMakeFiles/test_stabilization.dir/test_stabilization.cpp.o.d"
+  "test_stabilization"
+  "test_stabilization.pdb"
+  "test_stabilization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tester.dir/test_tester.cpp.o"
+  "CMakeFiles/test_tester.dir/test_tester.cpp.o.d"
+  "test_tester"
+  "test_tester.pdb"
+  "test_tester[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold_adjust.dir/test_threshold_adjust.cpp.o"
+  "CMakeFiles/test_threshold_adjust.dir/test_threshold_adjust.cpp.o.d"
+  "test_threshold_adjust"
+  "test_threshold_adjust.pdb"
+  "test_threshold_adjust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold_adjust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

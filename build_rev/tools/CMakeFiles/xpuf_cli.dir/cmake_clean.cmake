@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_cli.dir/xpuf_cli.cpp.o"
+  "CMakeFiles/xpuf_cli.dir/xpuf_cli.cpp.o.d"
+  "xpuf_cli"
+  "xpuf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

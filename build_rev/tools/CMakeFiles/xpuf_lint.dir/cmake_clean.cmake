@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_lint.dir/xpuf_lint/main.cpp.o"
+  "CMakeFiles/xpuf_lint.dir/xpuf_lint/main.cpp.o.d"
+  "xpuf_lint"
+  "xpuf_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

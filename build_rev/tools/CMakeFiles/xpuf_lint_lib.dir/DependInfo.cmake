@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/xpuf_lint/engine.cpp" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/engine.cpp.o" "gcc" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/engine.cpp.o.d"
+  "/root/repo/tools/xpuf_lint/index/index.cpp" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/index/index.cpp.o" "gcc" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/index/index.cpp.o.d"
+  "/root/repo/tools/xpuf_lint/lexer/lexer.cpp" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/lexer/lexer.cpp.o" "gcc" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/lexer/lexer.cpp.o.d"
+  "/root/repo/tools/xpuf_lint/lint.cpp" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/lint.cpp.o" "gcc" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/lint.cpp.o.d"
+  "/root/repo/tools/xpuf_lint/passes/determinism.cpp" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/determinism.cpp.o" "gcc" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/determinism.cpp.o.d"
+  "/root/repo/tools/xpuf_lint/passes/layering.cpp" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/layering.cpp.o" "gcc" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/layering.cpp.o.d"
+  "/root/repo/tools/xpuf_lint/passes/metrics_accounting.cpp" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/metrics_accounting.cpp.o" "gcc" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/metrics_accounting.cpp.o.d"
+  "/root/repo/tools/xpuf_lint/passes/wire_pairing.cpp" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/wire_pairing.cpp.o" "gcc" "tools/CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/wire_pairing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/engine.cpp.o"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/engine.cpp.o.d"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/index/index.cpp.o"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/index/index.cpp.o.d"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/lexer/lexer.cpp.o"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/lexer/lexer.cpp.o.d"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/lint.cpp.o"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/lint.cpp.o.d"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/determinism.cpp.o"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/determinism.cpp.o.d"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/layering.cpp.o"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/layering.cpp.o.d"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/metrics_accounting.cpp.o"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/metrics_accounting.cpp.o.d"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/wire_pairing.cpp.o"
+  "CMakeFiles/xpuf_lint_lib.dir/xpuf_lint/passes/wire_pairing.cpp.o.d"
+  "libxpuf_lint_lib.a"
+  "libxpuf_lint_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpuf_lint_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxpuf_lint_lib.a"
+)

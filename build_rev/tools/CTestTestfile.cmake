@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build_rev/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lint_xpuf_tree "/root/repo/build_rev/tools/xpuf_lint" "--root" "/root/repo")
+set_tests_properties(lint_xpuf_tree PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;39;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lint_tidy_config "/root/repo/build_rev/tools/xpuf_lint" "--check-tidy-config" "/root/repo/.clang-tidy")
+set_tests_properties(lint_tidy_config PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;40;add_test;/root/repo/tools/CMakeLists.txt;0;")
