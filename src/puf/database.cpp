@@ -1,6 +1,8 @@
 #include "puf/database.hpp"
 
+#include <charconv>
 #include <filesystem>
+#include <utility>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
@@ -10,28 +12,84 @@
 
 namespace xpuf::puf {
 
-// Pure encoding: every challenge length round-trips, nothing to guard.
-// xpuf-lint: allow(require-guard)
-std::string ServerDatabase::encode(const Challenge& challenge) {
-  std::string s;
-  s.reserve(challenge.size());
-  for (auto b : challenge) s.push_back(b ? '1' : '0');
-  return s;
+namespace {
+
+/// Parses the `<id>` of a legacy `ledger_<id>.csv` filename. Exact integer
+/// parse — any non-digit residue means the file is not one of ours.
+bool parse_ledger_id(const std::string& filename, std::size_t& id) {
+  constexpr const char* kPrefix = "ledger_";
+  constexpr const char* kSuffix = ".csv";
+  if (filename.rfind(kPrefix, 0) != 0) return false;
+  const std::size_t prefix_len = std::string(kPrefix).size();
+  const std::size_t suffix_len = std::string(kSuffix).size();
+  if (filename.size() <= prefix_len + suffix_len) return false;
+  if (filename.compare(filename.size() - suffix_len, suffix_len, kSuffix) != 0) return false;
+  const char* begin = filename.data() + prefix_len;
+  const char* end = filename.data() + filename.size() - suffix_len;
+  const auto [ptr, ec] = std::from_chars(begin, end, id);
+  return ec == std::errc() && ptr == end;
 }
 
-Challenge ServerDatabase::decode(const std::string& encoded) {
-  Challenge c;
-  c.reserve(encoded.size());
-  for (char ch : encoded) {
-    XPUF_REQUIRE(ch == '0' || ch == '1', "corrupt challenge encoding in ledger");
-    c.push_back(ch == '1' ? 1 : 0);
+/// Converts one legacy '0'/'1' ledger row into the packed key format,
+/// validating it against the device's stage count.
+std::string packed_key_from_legacy(const std::string& row, std::size_t stages,
+                                   const std::string& path) {
+  XPUF_REQUIRE(stages > 0, "legacy ledger conversion needs the model geometry");
+  if (row.size() != stages)
+    throw ParseError(path + ": ledger challenge has " + std::to_string(row.size()) +
+                     " bits, device model has " + std::to_string(stages) + " stages");
+  Challenge challenge;
+  challenge.reserve(row.size());
+  for (char ch : row) {
+    if (ch != '0' && ch != '1')
+      throw ParseError(path + ": corrupt challenge encoding in ledger");
+    challenge.push_back(ch == '1' ? 1 : 0);
   }
-  return c;
+  return store::pack_challenge(challenge);
+}
+
+}  // namespace
+
+ServerDatabase::ServerDatabase(ServerDatabase&& other) noexcept
+    : config_(other.config_),
+      models_(std::move(other.models_)),
+      issued_(std::move(other.issued_)),
+      ledger_total_(other.ledger_total_.load(std::memory_order_relaxed)),
+      store_(std::move(other.store_)) {}
+
+ServerDatabase& ServerDatabase::operator=(ServerDatabase&& other) noexcept {
+  if (this != &other) {
+    config_ = other.config_;
+    models_ = std::move(other.models_);
+    issued_ = std::move(other.issued_);
+    ledger_total_.store(other.ledger_total_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    store_ = std::move(other.store_);
+  }
+  return *this;
+}
+
+ServerDatabase ServerDatabase::open(const std::string& directory, DatabaseConfig config,
+                                    store::StoreOptions options) {
+  XPUF_TRACE_SPAN("db.open");
+  ServerDatabase db(config);
+  db.store_ = std::make_unique<store::EnrollmentStore>(
+      store::EnrollmentStore::open(directory, options));
+  return db;
+}
+
+const store::EnrollmentStore& ServerDatabase::store() const {
+  XPUF_REQUIRE(store_ != nullptr, "store() on an in-memory database");
+  return *store_;
 }
 
 void ServerDatabase::register_device(ServerModel model) {
   XPUF_REQUIRE(model.puf_count() >= config_.n_pufs,
                "enrolled model has fewer PUFs than the database XOR width");
+  if (store_ != nullptr) {
+    store_->register_device(std::move(model));
+    return;
+  }
   XPUF_REQUIRE(!knows(model.chip_id()), "device already registered");
   const std::size_t id = model.chip_id();
   models_.emplace(id, std::move(model));
@@ -39,12 +97,42 @@ void ServerDatabase::register_device(ServerModel model) {
 }
 
 void ServerDatabase::revoke_device(std::size_t chip_id) {
+  if (store_ != nullptr) {
+    store_->revoke_device(chip_id);
+    return;
+  }
   XPUF_REQUIRE(knows(chip_id), "revoking an unknown device");
+  const std::uint64_t dropped = issued_.at(chip_id).size();
   models_.erase(chip_id);
   issued_.erase(chip_id);
+  const std::uint64_t total =
+      ledger_total_.fetch_sub(dropped, std::memory_order_relaxed) - dropped;
+  static Gauge& ledger_size = MetricsRegistry::global().gauge("db.ledger_size");
+  ledger_size.set(static_cast<double>(total));
 }
 
 const ServerModel& ServerDatabase::model(std::size_t chip_id) const {
+  XPUF_REQUIRE(store_ == nullptr,
+               "a backed database serves models through the bounded cache; "
+               "use model_snapshot()");
+  const auto it = models_.find(chip_id);
+  XPUF_REQUIRE(it != models_.end(), "unknown device id");
+  return it->second;
+}
+
+std::shared_ptr<const ServerModel> ServerDatabase::model_snapshot(std::size_t chip_id) const {
+  // Both branches bounds-check chip_id (store::EnrollmentStore::model and
+  // model() respectively).
+  return store_ != nullptr ? store_->model(chip_id)
+                           : std::make_shared<const ServerModel>(model(chip_id));
+}
+
+const ServerModel& ServerDatabase::resolve_model(
+    std::size_t chip_id, std::shared_ptr<const ServerModel>& held) const {
+  if (store_ != nullptr) {
+    held = store_->model(chip_id);
+    return *held;
+  }
   const auto it = models_.find(chip_id);
   XPUF_REQUIRE(it != models_.end(), "unknown device id");
   return it->second;
@@ -53,15 +141,24 @@ const ServerModel& ServerDatabase::model(std::size_t chip_id) const {
 ChallengeBatch ServerDatabase::issue(std::size_t chip_id, Rng& rng) {
   XPUF_TRACE_SPAN("db.issue_batch");
   XPUF_REQUIRE(config_.policy.challenge_count > 0, "an authentication batch cannot be empty");
-  const ServerModel& m = model(chip_id);
-  // Find-based on purpose: issue() must never mutate the outer map, so
-  // concurrent calls for DISTINCT pre-registered devices touch disjoint
+  std::shared_ptr<const ServerModel> held;
+  const ServerModel& m = resolve_model(chip_id, held);
+  // Find-based on purpose: issue() must never mutate the ledger map itself,
+  // so concurrent calls for DISTINCT pre-registered devices touch disjoint
   // ledgers (see the concurrency contract in database.hpp).
-  const auto ledger_it = issued_.find(chip_id);
-  XPUF_REQUIRE(ledger_it != issued_.end(), "unknown device id");
-  std::set<std::string>& ledger = ledger_it->second;
+  std::set<std::string>* ledger_ptr = nullptr;
+  if (store_ != nullptr) {
+    ledger_ptr = &store_->ledger(chip_id);
+  } else {
+    const auto ledger_it = issued_.find(chip_id);
+    XPUF_REQUIRE(ledger_it != issued_.end(), "unknown device id");
+    ledger_ptr = &ledger_it->second;
+  }
+  std::set<std::string>& ledger = *ledger_ptr;
 
   ChallengeBatch batch;
+  std::vector<std::string> fresh;
+  fresh.reserve(config_.policy.challenge_count);
   ModelBasedSelector selector(m, config_.n_pufs);
   while (batch.challenges.size() < config_.policy.challenge_count) {
     // Select in small gulps so the replay filter can interleave.
@@ -74,7 +171,7 @@ ChallengeBatch ServerDatabase::issue(std::size_t chip_id, Rng& rng) {
     for (std::size_t i = 0; i < sel.challenges.size() &&
                             batch.challenges.size() < config_.policy.challenge_count;
          ++i) {
-      const std::string key = encode(sel.challenges[i]);
+      std::string key = store::pack_challenge(sel.challenges[i]);
       if (!ledger.insert(key).second) {
         // Replay-guarded: this stable challenge was issued to the device
         // before (e.g. a reused issuance seed); count the rejection — it is
@@ -82,6 +179,7 @@ ChallengeBatch ServerDatabase::issue(std::size_t chip_id, Rng& rng) {
         ++batch.replay_rejected;
         continue;
       }
+      fresh.push_back(std::move(key));
       batch.challenges.push_back(std::move(sel.challenges[i]));
       batch.expected.push_back(sel.expected_responses[i]);
     }
@@ -92,7 +190,15 @@ ChallengeBatch ServerDatabase::issue(std::size_t chip_id, Rng& rng) {
   static Gauge& ledger_size = registry.gauge("db.ledger_size");
   replay.add(batch.replay_rejected);
   issued.add(batch.challenges.size());
-  ledger_size.set(static_cast<double>(ledger.size()));
+  if (store_ != nullptr) {
+    // Durable acknowledgement: the challenges exist on disk before the
+    // caller can send them anywhere (the store refreshes the gauges).
+    store_->record_issued(chip_id, static_cast<std::uint32_t>(m.stages()), fresh);
+  } else {
+    const std::uint64_t total =
+        ledger_total_.fetch_add(fresh.size(), std::memory_order_relaxed) + fresh.size();
+    ledger_size.set(static_cast<double>(total));
+  }
   return batch;
 }
 
@@ -101,7 +207,9 @@ AuthenticationOutcome ServerDatabase::verify(std::size_t chip_id,
                                              const std::vector<bool>& responses) const {
   XPUF_REQUIRE(responses.size() == batch.challenges.size(),
                "one response bit per issued challenge");
-  AuthenticationServer server(model(chip_id), config_.n_pufs, config_.policy);
+  std::shared_ptr<const ServerModel> held;
+  const ServerModel& m = resolve_model(chip_id, held);
+  AuthenticationServer server(m, config_.n_pufs, config_.policy);
   return server.verify(batch, responses);
 }
 
@@ -127,6 +235,7 @@ DatabaseAuthOutcome ServerDatabase::authenticate(const sim::XorPufChip& chip,
 }
 
 std::size_t ServerDatabase::issued_count(std::size_t chip_id) const {
+  if (store_ != nullptr) return store_->ledger(chip_id).size();
   const auto it = issued_.find(chip_id);
   XPUF_REQUIRE(it != issued_.end(), "unknown device id");
   return it->second.size();
@@ -134,11 +243,22 @@ std::size_t ServerDatabase::issued_count(std::size_t chip_id) const {
 
 void ServerDatabase::save(const std::string& directory) const {
   XPUF_TRACE_SPAN("db.save");
-  ensure_directory(directory);
-  // Reconcile before writing: a save over an existing directory must not
-  // leave behind device_*/ledger_* files for devices revoked since the last
-  // save — load() would resurrect them. Only our own naming pattern is
-  // touched; unrelated files in the directory survive.
+  static Gauge& devices = MetricsRegistry::global().gauge("db.devices");
+  if (store_ != nullptr) {
+    // A backed database is already durable record by record; save() is the
+    // compaction point, and it only makes sense in the store's own home.
+    XPUF_REQUIRE(directory == store_->dir(),
+                 "a backed database saves in place (compaction)");
+    store_->compact();
+    devices.set(static_cast<double>(store_->device_count()));
+    return;
+  }
+  // In-memory mode: commit the complete binary snapshot first (every file
+  // lands via write-temp-then-rename), and only then clear legacy CSV
+  // files — the reverse of the old delete-then-write order, so a crash at
+  // any byte leaves a loadable directory. load() prefers the manifest, so
+  // a crash between the two phases (both formats present) reads the new one.
+  store::write_snapshot(directory, store::StoreOptions{}.n_shards, models_, issued_);
   namespace fs = std::filesystem;
   for (const auto& entry : fs::directory_iterator(directory)) {
     if (!entry.is_regular_file()) continue;
@@ -147,15 +267,7 @@ void ServerDatabase::save(const std::string& directory) const {
     const bool ledger_file = name.rfind("ledger_", 0) == 0;
     if (device_file || ledger_file) fs::remove(entry.path());
   }
-  static Gauge& devices = MetricsRegistry::global().gauge("db.devices");
   devices.set(static_cast<double>(models_.size()));
-  for (const auto& [id, m] : models_) {
-    save_server_model(m, directory + "/device_" + std::to_string(id) + ".csv");
-    CsvWriter ledger(directory + "/ledger_" + std::to_string(id) + ".csv",
-                     {"challenge"});
-    for (const auto& key : issued_.at(id))
-      ledger.write_row(std::vector<std::string>{key});
-  }
 }
 
 ServerDatabase ServerDatabase::load(const std::string& directory, DatabaseConfig config) {
@@ -163,21 +275,53 @@ ServerDatabase ServerDatabase::load(const std::string& directory, DatabaseConfig
   ServerDatabase db(config);
   namespace fs = std::filesystem;
   XPUF_REQUIRE(fs::is_directory(directory), "database directory does not exist");
-  for (const auto& entry : fs::directory_iterator(directory)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("device_", 0) != 0) continue;
-    ServerModel m = load_server_model(entry.path().string());
-    const std::size_t id = m.chip_id();
-    db.register_device(std::move(m));
-    const std::string ledger_path = directory + "/ledger_" + std::to_string(id) + ".csv";
-    if (fs::exists(ledger_path)) {
-      const CsvData ledger = read_csv(ledger_path);
-      for (const auto& row : ledger.rows)
-        if (!row.empty() && !row[0].empty()) db.issued_[id].insert(row[0]);
+  std::uint64_t total = 0;
+  if (store::EnrollmentStore::is_store_dir(directory)) {
+    // Binary store: replay the op log. A tiny cache keeps the replay from
+    // holding the fleet twice while models are copied into the registry.
+    store::StoreOptions options;
+    options.cache_capacity = 1;
+    const store::EnrollmentStore st = store::EnrollmentStore::open(directory, options);
+    for (const std::uint64_t id : st.device_ids()) {
+      db.models_.emplace(static_cast<std::size_t>(id), ServerModel(*st.model(id)));
+      db.issued_[static_cast<std::size_t>(id)] = st.ledger(id);
+    }
+    total = st.issued_total();
+  } else {
+    std::vector<fs::path> ledger_files;
+    for (const auto& entry : fs::directory_iterator(directory)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("ledger_", 0) == 0) {
+        ledger_files.push_back(entry.path());
+        continue;
+      }
+      if (name.rfind("device_", 0) != 0) continue;
+      ServerModel m = load_server_model(entry.path().string());
+      db.register_device(std::move(m));
+    }
+    for (const fs::path& path : ledger_files) {
+      std::size_t id = 0;
+      if (!parse_ledger_id(path.filename().string(), id)) continue;
+      if (!db.knows(id))
+        throw ParseError(path.string() + ": orphaned ledger (device_" +
+                         std::to_string(id) + " is missing) — a mid-save crash left "
+                         "issued challenges behind; refusing to silently forget them");
+      const std::size_t stages = db.models_.at(id).stages();
+      const CsvData ledger = read_csv(path.string());
+      for (const auto& row : ledger.rows) {
+        if (row.empty() || row[0].empty()) continue;
+        if (db.issued_[id].insert(packed_key_from_legacy(row[0], stages, path.string()))
+                .second)
+          ++total;
+      }
     }
   }
-  static Gauge& devices = MetricsRegistry::global().gauge("db.devices");
+  db.ledger_total_.store(total, std::memory_order_relaxed);
+  auto& registry = MetricsRegistry::global();
+  static Gauge& devices = registry.gauge("db.devices");
+  static Gauge& ledger_size = registry.gauge("db.ledger_size");
   devices.set(static_cast<double>(db.models_.size()));
+  ledger_size.set(static_cast<double>(total));
   return db;
 }
 

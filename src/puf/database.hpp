@@ -8,24 +8,44 @@
 // device — otherwise an eavesdropper could replay recorded responses), and
 // persistence of the whole registry to a directory of model files.
 //
+// Two serving modes share the same API:
+//
+//   in-memory (the historical default): every model and ledger lives in the
+//   registry maps; save() writes a complete binary snapshot (sharded store
+//   files committed via write-temp-then-rename — never delete-then-write)
+//   and load() reads either that binary format or a legacy CSV directory,
+//   upgrading the latter on its first save.
+//
+//   backed (open()): the database fronts a store::EnrollmentStore — every
+//   register/revoke/issue is appended durably to a sharded crc'd op log
+//   before the call returns, ledgers stay memory-resident per shard, and
+//   model weights are served through a capacity-bounded LRU cache
+//   (db.cache_hits/db.cache_misses/db.cache_evictions), so authentication
+//   over a million-device fleet runs in bounded memory. save() compacts the
+//   log in place.
+//
 // Concurrency contract: issue(), verify(), authenticate() and the const
 // accessors are safe to call concurrently for DISTINCT pre-registered
 // devices — they never mutate the registry maps themselves, only the
 // per-device ledger set the caller's device owns (std::map lookups tolerate
 // concurrent readers, and disjoint mapped values may be mutated in
-// parallel). register_device(), revoke_device(), save() and load() mutate
+// parallel; the backed store locks its shared cache and shard files
+// internally). register_device(), revoke_device(), save() and load() mutate
 // the maps and require exclusive access; the net/ ServiceEngine satisfies
 // this by giving each shard its own ServerDatabase and keeping all calls on
 // the owning shard lane. tests/test_observability.cpp exercises the
 // concurrent half of the contract under TSan.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
 #include "puf/authentication.hpp"
+#include "puf/store/store.hpp"
 
 namespace xpuf::puf {
 
@@ -45,9 +65,27 @@ class ServerDatabase {
  public:
   explicit ServerDatabase(DatabaseConfig config) : config_(config) {}
 
+  ServerDatabase(ServerDatabase&& other) noexcept;
+  ServerDatabase& operator=(ServerDatabase&& other) noexcept;
+
+  /// Opens (creating if needed) a store-backed database at `directory`:
+  /// durable sharded op log + LRU-bounded model serving.
+  static ServerDatabase open(const std::string& directory, DatabaseConfig config,
+                             store::StoreOptions options = {});
+
+  bool backed() const { return store_ != nullptr; }
+
+  /// The underlying store of a backed database (introspection: shard
+  /// totals, cache occupancy, compaction offsets).
+  const store::EnrollmentStore& store() const;
+
   const DatabaseConfig& config() const { return config_; }
-  std::size_t device_count() const { return models_.size(); }
-  bool knows(std::size_t chip_id) const { return models_.count(chip_id) != 0; }
+  std::size_t device_count() const {
+    return store_ ? store_->device_count() : models_.size();
+  }
+  bool knows(std::size_t chip_id) const {
+    return store_ ? store_->knows(chip_id) : models_.count(chip_id) != 0;
+  }
 
   /// Registers an enrolled chip; rejects duplicate ids and width mismatches.
   void register_device(ServerModel model);
@@ -55,7 +93,15 @@ class ServerDatabase {
   /// Removes a device and its replay history.
   void revoke_device(std::size_t chip_id);
 
+  /// Direct registry reference — in-memory mode only: a backed database
+  /// serves models through the bounded cache, where references can be
+  /// evicted under the caller; use model_snapshot() there.
   const ServerModel& model(std::size_t chip_id) const;
+
+  /// Mode-independent model access. Backed: the cached (or freshly decoded)
+  /// model, kept alive by the shared_ptr across evictions. In-memory: a
+  /// copy — intended for tests and tooling, not hot paths.
+  std::shared_ptr<const ServerModel> model_snapshot(std::size_t chip_id) const;
 
   /// Issues a fresh stable-challenge batch for a device, excluding every
   /// challenge the server has ever sent to it (replay protection). The
@@ -74,19 +120,36 @@ class ServerDatabase {
   /// Challenges ever issued to a device.
   std::size_t issued_count(std::size_t chip_id) const;
 
-  /// Writes one model file per device into `directory` (created if absent)
-  /// plus the issued-challenge ledger; `load` restores the registry.
+  /// In-memory mode: writes a complete binary store snapshot into
+  /// `directory` (created if absent) — manifest + sharded record logs, each
+  /// file committed via write-temp-then-rename — then removes any legacy
+  /// `device_*`/`ledger_*` CSV files, completing the format migration. A
+  /// crash at any point leaves every device readable in either its old or
+  /// new state; nothing is deleted before its replacement is durable.
+  /// Backed mode: compacts the store in place (`directory` must be the
+  /// store's own directory).
   void save(const std::string& directory) const;
+
+  /// Restores an in-memory registry from `directory`: binary store layout
+  /// when a manifest is present, legacy CSV otherwise. Orphaned legacy
+  /// `ledger_*` files (their `device_*` partner missing — the residue of a
+  /// mid-save crash of the old writer) are a ParseError, never silently
+  /// forgotten issued challenges.
   static ServerDatabase load(const std::string& directory, DatabaseConfig config);
 
  private:
+  const ServerModel& resolve_model(std::size_t chip_id,
+                                   std::shared_ptr<const ServerModel>& held) const;
+
   DatabaseConfig config_;
   std::map<std::size_t, ServerModel> models_;
-  /// Replay ledger: compact challenge encodings per device.
+  /// Replay ledger: packed challenge keys (store::pack_challenge) per device.
   std::map<std::size_t, std::set<std::string>> issued_;
-
-  static std::string encode(const Challenge& challenge);
-  static Challenge decode(const std::string& encoded);
+  /// Fleet-wide issued-challenge count behind the db.ledger_size gauge
+  /// (in-memory mode); atomic because concurrent issue() calls for distinct
+  /// devices both retire into it.
+  std::atomic<std::uint64_t> ledger_total_{0};
+  std::unique_ptr<store::EnrollmentStore> store_;
 };
 
 }  // namespace xpuf::puf

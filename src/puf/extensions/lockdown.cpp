@@ -5,7 +5,10 @@ namespace xpuf::puf {
 bool LockdownGate::authorize(std::uint64_t device_id, std::uint64_t count) {
   XPUF_REQUIRE(count > 0, "lockdown authorization for zero CRPs");
   const std::uint64_t used = issued(device_id);
-  if (used + count > policy_.lifetime_crp_budget) return false;
+  // Subtraction form: `used + count` can wrap uint64 for a huge request and
+  // slip past the budget. `used <= budget` is a class invariant, so the
+  // difference below never underflows.
+  if (count > policy_.lifetime_crp_budget - used) return false;
   issued_[device_id] = used + count;
   return true;
 }

@@ -30,6 +30,20 @@ double parse_double(const std::string& s, const std::string& context) {
     throw ParseError("server-model file: bad number '" + s + "' in " + context);
   }
 }
+
+/// Exact unsigned-integer parse for count-like header fields. Going through
+/// parse_double silently rounds ids above 2^53 to a *different* device and
+/// accepts "1e3"/"12.0"/"-1" spellings; from_chars rejects sign characters,
+/// fractions, exponents and trailing junk, and round-trips every uint64.
+std::size_t parse_index(const std::string& s, const std::string& context) {
+  std::size_t v = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end || s.empty())
+    throw ParseError("server-model file: bad integer '" + s + "' in " + context);
+  return v;
+}
 }  // namespace
 
 void save_server_model(const ServerModel& model, const std::string& path) {
@@ -57,13 +71,12 @@ ServerModel load_server_model(const std::string& path) {
   const CsvData data = read_csv(path);
   if (data.header.size() != 6 || data.header[0] != kFormatVersion)
     throw ParseError("not a " + std::string(kFormatVersion) + " file: " + path);
-  const auto chip_id = static_cast<std::size_t>(parse_double(data.header[1], "chip id"));
+  const std::size_t chip_id = parse_index(data.header[1], "chip id");
   BetaFactors betas;
   betas.beta0 = parse_double(data.header[2], "beta0");
   betas.beta1 = parse_double(data.header[3], "beta1");
-  const auto puf_count =
-      static_cast<std::size_t>(parse_double(data.header[4], "puf count"));
-  const auto stages = static_cast<std::size_t>(parse_double(data.header[5], "stages"));
+  const std::size_t puf_count = parse_index(data.header[4], "puf count");
+  const std::size_t stages = parse_index(data.header[5], "stages");
   if (data.rows.size() != puf_count)
     throw ParseError("server-model file: expected " + std::to_string(puf_count) +
                      " PUF rows, found " + std::to_string(data.rows.size()));
@@ -77,7 +90,7 @@ ServerModel load_server_model(const std::string& path) {
       throw ParseError("server-model file: PUF row " + std::to_string(p) + " has " +
                        std::to_string(row.size()) + " cells, expected " +
                        std::to_string(expected_cells));
-    const auto index = static_cast<std::size_t>(parse_double(row[0], "puf index"));
+    const std::size_t index = parse_index(row[0], "puf index");
     if (index != p) throw ParseError("server-model file: PUF rows out of order");
     PufEnrollment e;
     e.thresholds.thr0 = parse_double(row[1], "thr0");

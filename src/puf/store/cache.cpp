@@ -1,0 +1,47 @@
+#include "puf/store/cache.hpp"
+
+#include "common/error.hpp"
+
+namespace xpuf::puf::store {
+
+ModelCache::ModelCache(std::size_t capacity) : capacity_(capacity) {
+  XPUF_REQUIRE(capacity >= 1, "ModelCache: capacity must be >= 1");
+}
+
+std::shared_ptr<const ServerModel> ModelCache::get(std::uint64_t device_id) {
+  const auto it = by_id_.find(device_id);
+  if (it == by_id_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+std::size_t ModelCache::put(std::uint64_t device_id,
+                            std::shared_ptr<const ServerModel> model) {
+  const auto it = by_id_.find(device_id);
+  if (it != by_id_.end()) {
+    it->second->second = std::move(model);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  lru_.emplace_front(device_id, std::move(model));
+  by_id_[device_id] = lru_.begin();
+  if (by_id_.size() <= capacity_) return 0;
+  by_id_.erase(lru_.back().first);
+  lru_.pop_back();
+  return 1;
+}
+
+bool ModelCache::erase(std::uint64_t device_id) {
+  const auto it = by_id_.find(device_id);
+  if (it == by_id_.end()) return false;
+  lru_.erase(it->second);
+  by_id_.erase(it);
+  return true;
+}
+
+void ModelCache::clear() {
+  lru_.clear();
+  by_id_.clear();
+}
+
+}  // namespace xpuf::puf::store

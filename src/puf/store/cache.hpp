@@ -1,0 +1,51 @@
+// Capacity-bounded LRU cache of decoded ServerModels.
+//
+// The store keeps the device index and ledgers memory-resident but decodes
+// model weights on demand — with the cache sized at ~1% of the fleet, the
+// authentication path touches a bounded working set no matter how many
+// devices are enrolled. Entries are shared_ptr so an authentication that
+// fetched a model keeps it alive even if the cache evicts it mid-flight.
+// Pure mechanism: hit/miss/eviction *metrics* belong to the
+// EnrollmentStore, which knows why a lookup happened.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "puf/enrollment.hpp"
+
+namespace xpuf::puf::store {
+
+class ModelCache {
+ public:
+  /// `capacity` is the maximum number of resident models (>= 1).
+  explicit ModelCache(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return by_id_.size(); }
+
+  /// Returns the cached model and marks it most-recently-used, or nullptr.
+  std::shared_ptr<const ServerModel> get(std::uint64_t device_id);
+
+  /// Inserts (or replaces) a model and marks it most-recently-used; evicts
+  /// the least-recently-used entry when over capacity. Returns the number
+  /// of evictions performed (0 or 1).
+  std::size_t put(std::uint64_t device_id, std::shared_ptr<const ServerModel> model);
+
+  /// Drops one device (revocation); returns true if it was resident.
+  bool erase(std::uint64_t device_id);
+
+  void clear();
+
+ private:
+  using Entry = std::pair<std::uint64_t, std::shared_ptr<const ServerModel>>;
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::map<std::uint64_t, std::list<Entry>::iterator> by_id_;
+};
+
+}  // namespace xpuf::puf::store

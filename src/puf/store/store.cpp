@@ -1,0 +1,350 @@
+#include "puf/store/store.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace xpuf::puf::store {
+
+namespace {
+
+/// Issued-challenge keys per ISSUE record: 65536 keys of a 4096-stage model
+/// stay far below kMaxRecordPayloadBytes, so compaction and snapshotting of
+/// arbitrarily large ledgers never produce an oversized record.
+constexpr std::size_t kLedgerKeysPerRecord = 65536;
+
+std::string shard_gauge_name(std::uint32_t k) {
+  return "db.shard_ledger_size." + std::to_string(k);
+}
+
+/// Appends ISSUE records covering [first, last), chunked so each record's
+/// payload stays bounded.
+template <typename Iter>
+void append_issue_records(std::vector<std::uint8_t>& out, std::uint64_t device_id,
+                          std::uint32_t stages, Iter first, Iter last) {
+  XPUF_REQUIRE(stages > 0, "issue records need the model geometry");
+  std::vector<std::string> chunk;
+  while (first != last) {
+    chunk.clear();
+    for (std::size_t n = 0; n < kLedgerKeysPerRecord && first != last; ++n, ++first)
+      chunk.push_back(*first);
+    encode_record(out, OpType::kIssue, device_id, encode_ledger(stages, chunk));
+  }
+}
+
+}  // namespace
+
+EnrollmentStore::EnrollmentStore(ShardedLog log, StoreOptions options)
+    : options_(options),
+      log_(std::move(log)),
+      cache_(options.cache_capacity),
+      shard_mu_(std::make_unique<std::mutex[]>(log_.n_shards())),
+      cache_mu_(std::make_unique<std::mutex>()),
+      shard_ledger_total_(std::make_unique<std::atomic<std::uint64_t>[]>(log_.n_shards())) {
+  auto& registry = MetricsRegistry::global();
+  shard_gauges_.reserve(log_.n_shards());
+  for (std::uint32_t k = 0; k < log_.n_shards(); ++k)
+    shard_gauges_.push_back(&registry.gauge(shard_gauge_name(k)));
+}
+
+EnrollmentStore EnrollmentStore::open(const std::string& dir, StoreOptions options) {
+  XPUF_TRACE_SPAN("db.store_open");
+  EnrollmentStore store(ShardedLog::open(dir, options.n_shards), options);
+  for (std::uint32_t k = 0; k < store.n_shards(); ++k) {
+    store.replay_shard(k);
+    store.refresh_ledger_gauges(k);
+  }
+  static Gauge& devices = MetricsRegistry::global().gauge("db.devices");
+  devices.set(static_cast<double>(store.index_.size()));
+  return store;
+}
+
+void EnrollmentStore::replay_shard(std::uint32_t k) {
+  static Counter& truncations = MetricsRegistry::global().counter("db.log_truncated");
+  AppendLog& shard = log_.shard(k);
+  std::vector<std::uint8_t> bytes;
+  shard.read_all(bytes);
+  const auto corrupt = [&](std::uint64_t offset, const std::string& what) {
+    return ParseError("store log " + shard.path() + " at offset " +
+                      std::to_string(offset) + ": " + what);
+  };
+  std::uint64_t offset = 0;
+  while (offset < bytes.size()) {
+    RecordView view;
+    const RecordStatus status = decode_record(bytes.data(), bytes.size(), offset, view);
+    if (status == RecordStatus::kTruncated) {
+      // Torn tail from a crash mid-append: everything before `offset` is
+      // intact (each record is crc'd), so cut the residue and carry on.
+      truncations.add(1);
+      shard.truncate_to(offset);
+      return;
+    }
+    if (status != RecordStatus::kOk) throw corrupt(offset, to_string(status));
+    switch (view.op) {
+      case OpType::kRegister: {
+        if (index_.count(view.device_id) != 0)
+          throw corrupt(offset, "REGISTER for already-registered device " +
+                                    std::to_string(view.device_id));
+        std::uint32_t puf_count = 0;
+        std::uint32_t stages = 0;
+        if (peek_model_shape(view.payload, view.payload_len, puf_count, stages) !=
+                RecordStatus::kOk ||
+            view.payload_len != model_payload_bytes(puf_count, stages))
+          throw corrupt(offset, "malformed model payload");
+        index_[view.device_id] =
+            DeviceRecord{k, view.begin, view.end - view.begin, puf_count, stages};
+        ledgers_[view.device_id];
+        break;
+      }
+      case OpType::kRevoke: {
+        if (view.payload_len != 0) throw corrupt(offset, "REVOKE with a payload");
+        const auto it = ledgers_.find(view.device_id);
+        if (it == ledgers_.end() || index_.erase(view.device_id) == 0)
+          throw corrupt(offset, "REVOKE for unknown device " +
+                                    std::to_string(view.device_id));
+        shard_ledger_total_[k].fetch_sub(it->second.size(), std::memory_order_relaxed);
+        ledgers_.erase(it);
+        break;
+      }
+      case OpType::kIssue: {
+        const auto it = ledgers_.find(view.device_id);
+        if (it == ledgers_.end())
+          throw corrupt(offset, "orphaned ISSUE record for unknown device " +
+                                    std::to_string(view.device_id) +
+                                    " — issued challenges must never be forgotten");
+        std::uint32_t stages = 0;
+        std::vector<std::string> keys;
+        if (decode_ledger(view.payload, view.payload_len, stages, keys) != RecordStatus::kOk)
+          throw corrupt(offset, "malformed ledger payload");
+        if (stages != index_.at(view.device_id).stages)
+          throw corrupt(offset, "ledger geometry does not match the registered model");
+        std::uint64_t inserted = 0;
+        for (std::string& key : keys)
+          if (it->second.insert(std::move(key)).second) ++inserted;
+        shard_ledger_total_[k].fetch_add(inserted, std::memory_order_relaxed);
+        break;
+      }
+    }
+    offset = view.end;
+  }
+}
+
+std::vector<std::uint64_t> EnrollmentStore::device_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(index_.size());
+  for (const auto& [id, rec] : index_) ids.push_back(id);
+  return ids;
+}
+
+const DeviceRecord& EnrollmentStore::device_record(std::uint64_t device_id) const {
+  const auto it = index_.find(device_id);
+  XPUF_REQUIRE(it != index_.end(), "unknown device id");
+  return it->second;
+}
+
+void EnrollmentStore::append_record(std::uint32_t shard,
+                                    const std::vector<std::uint8_t>& bytes) {
+  XPUF_REQUIRE(shard < n_shards(), "shard index out of range");
+  std::lock_guard<std::mutex> lock(shard_mu_[shard]);
+  log_.shard(shard).append(bytes);
+}
+
+void EnrollmentStore::register_device(ServerModel model) {
+  XPUF_REQUIRE(!knows(model.chip_id()), "device already registered");
+  XPUF_REQUIRE(model.puf_count() >= 1 && model.puf_count() <= kMaxPufsPerModel,
+               "model PUF count outside store bounds");
+  XPUF_REQUIRE(model.stages() >= 1 && model.stages() <= kMaxStagesPerModel,
+               "model stage count outside store bounds");
+  static Counter& evictions = MetricsRegistry::global().counter("db.cache_evictions");
+  const std::uint64_t id = model.chip_id();
+  const std::uint32_t k = log_.shard_of(id);
+  std::vector<std::uint8_t> bytes;
+  encode_record(bytes, OpType::kRegister, id, encode_model(model));
+  std::uint64_t end = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_[k]);
+    end = log_.shard(k).append(bytes);
+  }
+  index_[id] = DeviceRecord{k, end - bytes.size(), bytes.size(),
+                            static_cast<std::uint32_t>(model.puf_count()),
+                            static_cast<std::uint32_t>(model.stages())};
+  ledgers_[id];
+  auto shared = std::make_shared<const ServerModel>(std::move(model));
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    evictions.add(cache_.put(id, std::move(shared)));
+  }
+  static Gauge& devices = MetricsRegistry::global().gauge("db.devices");
+  devices.set(static_cast<double>(index_.size()));
+}
+
+void EnrollmentStore::revoke_device(std::uint64_t device_id) {
+  XPUF_REQUIRE(knows(device_id), "revoking an unknown device");
+  const std::uint32_t k = log_.shard_of(device_id);
+  std::vector<std::uint8_t> bytes;
+  encode_record(bytes, OpType::kRevoke, device_id, {});
+  append_record(k, bytes);
+  shard_ledger_total_[k].fetch_sub(ledgers_.at(device_id).size(),
+                                   std::memory_order_relaxed);
+  index_.erase(device_id);
+  ledgers_.erase(device_id);
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    cache_.erase(device_id);
+  }
+  refresh_ledger_gauges(k);
+  static Gauge& devices = MetricsRegistry::global().gauge("db.devices");
+  devices.set(static_cast<double>(index_.size()));
+}
+
+std::shared_ptr<const ServerModel> EnrollmentStore::model(std::uint64_t device_id) const {
+  auto& registry = MetricsRegistry::global();
+  static Counter& hits = registry.counter("db.cache_hits");
+  static Counter& misses = registry.counter("db.cache_misses");
+  static Counter& evictions = registry.counter("db.cache_evictions");
+  const auto it = index_.find(device_id);
+  XPUF_REQUIRE(it != index_.end(), "unknown device id");
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    if (auto cached = cache_.get(device_id)) {
+      hits.add(1);
+      return cached;
+    }
+  }
+  misses.add(1);
+  const DeviceRecord& rec = it->second;
+  std::vector<std::uint8_t> bytes;
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_[rec.shard]);
+    log_.shard(rec.shard).read_at(rec.offset, rec.length, bytes);
+  }
+  RecordView view;
+  if (decode_record(bytes.data(), bytes.size(), 0, view) != RecordStatus::kOk ||
+      view.op != OpType::kRegister || view.device_id != device_id)
+    throw ParseError("stored REGISTER record for device " + std::to_string(device_id) +
+                     " is corrupt");
+  auto decoded = std::make_shared<ServerModel>();
+  if (decode_model(view.payload, view.payload_len, device_id, *decoded) != RecordStatus::kOk)
+    throw ParseError("stored model payload for device " + std::to_string(device_id) +
+                     " is corrupt");
+  std::shared_ptr<const ServerModel> shared = std::move(decoded);
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    evictions.add(cache_.put(device_id, shared));
+  }
+  return shared;
+}
+
+std::set<std::string>& EnrollmentStore::ledger(std::uint64_t device_id) {
+  const auto it = ledgers_.find(device_id);
+  XPUF_REQUIRE(it != ledgers_.end(), "unknown device id");
+  return it->second;
+}
+
+const std::set<std::string>& EnrollmentStore::ledger(std::uint64_t device_id) const {
+  const auto it = ledgers_.find(device_id);
+  XPUF_REQUIRE(it != ledgers_.end(), "unknown device id");
+  return it->second;
+}
+
+void EnrollmentStore::record_issued(std::uint64_t device_id, std::uint32_t stages,
+                                    const std::vector<std::string>& fresh) {
+  XPUF_REQUIRE(knows(device_id), "unknown device id");
+  if (fresh.empty()) return;
+  const std::uint32_t k = log_.shard_of(device_id);
+  std::vector<std::uint8_t> bytes;
+  append_issue_records(bytes, device_id, stages, fresh.begin(), fresh.end());
+  append_record(k, bytes);
+  shard_ledger_total_[k].fetch_add(fresh.size(), std::memory_order_relaxed);
+  refresh_ledger_gauges(k);
+}
+
+std::uint64_t EnrollmentStore::issued_total() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t k = 0; k < n_shards(); ++k)
+    total += shard_ledger_total_[k].load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t EnrollmentStore::shard_issued_total(std::uint32_t k) const {
+  XPUF_REQUIRE(k < n_shards(), "shard index out of range");
+  return shard_ledger_total_[k].load(std::memory_order_relaxed);
+}
+
+void EnrollmentStore::refresh_ledger_gauges(std::uint32_t shard) const {
+  static Gauge& fleet = MetricsRegistry::global().gauge("db.ledger_size");
+  fleet.set(static_cast<double>(issued_total()));
+  shard_gauges_[shard]->set(
+      static_cast<double>(shard_ledger_total_[shard].load(std::memory_order_relaxed)));
+}
+
+void EnrollmentStore::compact() {
+  XPUF_TRACE_SPAN("db.compact");
+  for (std::uint32_t k = 0; k < n_shards(); ++k) {
+    std::vector<std::uint8_t> fresh;
+    std::map<std::uint64_t, DeviceRecord> rewritten;
+    for (const auto& [id, rec] : index_) {
+      if (rec.shard != k) continue;
+      // Copy the REGISTER record bytes verbatim: the model survives
+      // compaction bit-exactly without ever being decoded.
+      std::vector<std::uint8_t> record_bytes;
+      log_.shard(k).read_at(rec.offset, rec.length, record_bytes);
+      DeviceRecord updated = rec;
+      updated.offset = fresh.size();
+      fresh.insert(fresh.end(), record_bytes.begin(), record_bytes.end());
+      rewritten[id] = updated;
+      const std::set<std::string>& keys = ledgers_.at(id);
+      append_issue_records(fresh, id, rec.stages, keys.begin(), keys.end());
+    }
+    if (fresh.empty()) {
+      // No live devices route here; truncating (one syscall) beats renaming
+      // an empty file into place, and replay of an empty shard is a no-op.
+      log_.shard(k).truncate_to(0);
+    } else {
+      log_.shard(k).replace_with(fresh);
+    }
+    for (const auto& [id, rec] : rewritten) index_[id] = rec;
+  }
+}
+
+std::size_t EnrollmentStore::cache_size() const {
+  std::lock_guard<std::mutex> lock(*cache_mu_);
+  return cache_.size();
+}
+
+void write_snapshot(const std::string& dir, std::uint32_t default_shards,
+                    const std::map<std::size_t, ServerModel>& models,
+                    const std::map<std::size_t, std::set<std::string>>& ledgers) {
+  XPUF_REQUIRE(default_shards > 0, "write_snapshot: zero shards");
+  ensure_directory(dir);
+  std::uint32_t n_shards = default_shards;
+  if (!read_manifest(dir, n_shards))
+    write_file_atomic(dir + "/store_manifest", encode_manifest(n_shards));
+  std::vector<std::vector<std::uint8_t>> buffers(n_shards);
+  for (const auto& [id, m] : models) {
+    std::vector<std::uint8_t>& out = buffers[id % n_shards];
+    encode_record(out, OpType::kRegister, id, encode_model(m));
+    const auto lit = ledgers.find(id);
+    if (lit == ledgers.end() || lit->second.empty()) continue;
+    append_issue_records(out, id, static_cast<std::uint32_t>(m.stages()),
+                         lit->second.begin(), lit->second.end());
+  }
+  namespace fs = std::filesystem;
+  for (std::uint32_t k = 0; k < n_shards; ++k) {
+    const std::string path = dir + "/shard_" + std::to_string(k) + ".log";
+    if (buffers[k].empty()) {
+      // A shard with no surviving devices is represented by file absence —
+      // a crash right here just leaves an empty-equivalent old file.
+      fs::remove(path);
+      fs::remove(path + ".tmp");
+    } else {
+      write_file_atomic(path, buffers[k]);
+    }
+  }
+}
+
+}  // namespace xpuf::puf::store

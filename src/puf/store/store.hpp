@@ -1,0 +1,148 @@
+// EnrollmentStore — the crash-safe, bounded-memory device registry.
+//
+// Durability model: every mutation (register / revoke / issue) is one
+// framed, crc'd record appended to the device's shard log and flushed
+// before the call returns. Recovery replays each shard front to back; a
+// torn tail record (the residue of a crash mid-append) is truncated away
+// and counted, while any *mid-file* corruption is a loud ParseError — the
+// ledger is the replay defense, so guessing at its contents is a security
+// bug. Because replay applies ops in order, a revoked device can never be
+// resurrected by older records, and compaction (write-temp-then-rename per
+// shard) only ever swaps a complete old shard for a complete new one.
+//
+// Memory model: the index (device -> shard/offset/geometry) and the
+// issued-challenge ledgers stay resident; model weights — the bulk of the
+// bytes — are decoded on demand through a capacity-bounded LRU cache
+// (db.cache_hits / db.cache_misses / db.cache_evictions), so serving a
+// million-device fleet needs cache_capacity models in RAM, not a million.
+//
+// Concurrency contract mirrors ServerDatabase: model()/ledger()/
+// record_issued() are safe concurrently for DISTINCT registered devices
+// (the cache has its own lock, appends take the shard's lock);
+// register_device / revoke_device / compact / open require exclusive
+// access. Gauges are last-writer-wins under concurrent issue, like every
+// gauge in the registry; counters are exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "puf/store/cache.hpp"
+#include "puf/store/log.hpp"
+#include "puf/store/record.hpp"
+
+namespace xpuf {
+class Gauge;
+}
+
+namespace xpuf::puf::store {
+
+struct StoreOptions {
+  std::uint32_t n_shards = 16;      ///< shard fan-out for a NEW store dir
+  std::size_t cache_capacity = 1024;  ///< resident decoded models (>= 1)
+};
+
+/// Index entry: where a device's REGISTER record lives and its geometry.
+struct DeviceRecord {
+  std::uint32_t shard = 0;
+  std::uint64_t offset = 0;   ///< record begin within the shard file
+  std::uint64_t length = 0;   ///< framed record length (header+payload+crc)
+  std::uint32_t puf_count = 0;
+  std::uint32_t stages = 0;
+};
+
+class EnrollmentStore {
+ public:
+  /// Opens (creating if needed) the store at `dir` and replays the shard
+  /// logs into the in-memory index/ledgers. Torn tails are truncated and
+  /// counted under db.log_truncated; mid-file corruption throws ParseError.
+  static EnrollmentStore open(const std::string& dir, StoreOptions options);
+
+  /// True when `dir` holds a binary store (manifest present).
+  static bool is_store_dir(const std::string& dir) { return ShardedLog::is_store_dir(dir); }
+
+  const std::string& dir() const { return log_.dir(); }
+  const StoreOptions& options() const { return options_; }
+  std::uint32_t n_shards() const { return log_.n_shards(); }
+
+  std::size_t device_count() const { return index_.size(); }
+  bool knows(std::uint64_t device_id) const { return index_.count(device_id) != 0; }
+  std::vector<std::uint64_t> device_ids() const;
+  const DeviceRecord& device_record(std::uint64_t device_id) const;
+
+  /// Appends a REGISTER record (flushed before returning) and warms the
+  /// cache. Rejects duplicate ids and out-of-bounds geometry.
+  void register_device(ServerModel model);
+
+  /// Appends a REVOKE record and drops the device from index, ledger and
+  /// cache. Replay order guarantees it stays gone after recovery.
+  void revoke_device(std::uint64_t device_id);
+
+  /// The device's model, through the LRU cache (hit) or decoded from its
+  /// REGISTER record (miss). The shared_ptr keeps the model alive across a
+  /// concurrent eviction.
+  std::shared_ptr<const ServerModel> model(std::uint64_t device_id) const;
+
+  /// The device's memory-resident replay ledger (packed challenge keys).
+  std::set<std::string>& ledger(std::uint64_t device_id);
+  const std::set<std::string>& ledger(std::uint64_t device_id) const;
+
+  /// Durably acknowledges freshly issued challenges: appends one ISSUE
+  /// record with `fresh` (already inserted into ledger() by the caller) and
+  /// updates the fleet-wide + per-shard ledger gauges. The append's flush
+  /// is the acknowledgement point the torture test pins.
+  void record_issued(std::uint64_t device_id, std::uint32_t stages,
+                     const std::vector<std::string>& fresh);
+
+  /// Fleet-wide issued-challenge total (sum of per-shard totals).
+  std::uint64_t issued_total() const;
+  std::uint64_t shard_issued_total(std::uint32_t k) const;
+
+  /// Rewrites every shard to its minimal form — one REGISTER record plus
+  /// chunked ISSUE records per live device, revoked devices gone — each
+  /// shard committed via write-temp-then-rename. Register record bytes are
+  /// copied verbatim, so models stay bit-exact without being decoded.
+  void compact();
+
+  /// Current end offset of shard `k` — the durable high-water mark the
+  /// truncation torture test records after each op.
+  std::uint64_t shard_size(std::uint32_t k) const { return log_.shard(k).size(); }
+
+  std::size_t cache_size() const;
+  std::size_t cache_capacity() const { return cache_.capacity(); }
+
+ private:
+  EnrollmentStore(ShardedLog log, StoreOptions options);
+
+  void replay_shard(std::uint32_t k);
+  void append_record(std::uint32_t shard, const std::vector<std::uint8_t>& bytes);
+  void refresh_ledger_gauges(std::uint32_t shard) const;
+
+  StoreOptions options_;
+  ShardedLog log_;
+  std::map<std::uint64_t, DeviceRecord> index_;
+  std::map<std::uint64_t, std::set<std::string>> ledgers_;
+  mutable ModelCache cache_;
+  std::unique_ptr<std::mutex[]> shard_mu_;
+  mutable std::unique_ptr<std::mutex> cache_mu_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> shard_ledger_total_;
+  std::vector<Gauge*> shard_gauges_;
+};
+
+/// Writes a complete binary store (manifest + shard logs) for an in-memory
+/// registry, honouring an existing manifest's fan-out when `dir` already is
+/// a store. Every file is committed via write-temp-then-rename and shard
+/// files with no surviving devices are removed — at no point can a reader
+/// observe a partial file. This is ServerDatabase::save()'s backend and the
+/// CSV -> binary migration writer.
+void write_snapshot(const std::string& dir, std::uint32_t default_shards,
+                    const std::map<std::size_t, ServerModel>& models,
+                    const std::map<std::size_t, std::set<std::string>>& ledgers);
+
+}  // namespace xpuf::puf::store

@@ -6,8 +6,10 @@
 #include <fstream>
 #include <set>
 
+#include "common/csv.hpp"
 #include "common/error.hpp"
 #include "puf/database.hpp"
+#include "puf/model_store.hpp"
 #include "puf/threshold_adjust.hpp"
 #include "sim/population.hpp"
 
@@ -133,21 +135,29 @@ TEST_F(DatabaseTest, ReplayedSessionRejectionsAreCounted) {
   EXPECT_EQ(db_.issued_count(0), 32u);  // 16 fresh challenges joined the ledger
 }
 
-// Regression (ISSUE 3): save() never deleted stale device_*/ledger_* files,
-// so revoke -> save over an existing directory resurrected the revoked
-// device on load().
+// Regression (ISSUE 3, reworked in ISSUE 8): save() once deleted stale
+// device_*/ledger_* files before writing — revoke -> save over an existing
+// directory could resurrect the revoked device on load(), and a crash
+// between delete and write lost the fleet. The binary snapshot writer must
+// keep the fix structurally: each save is a complete write-temp-then-rename
+// image of the surviving registry.
 TEST_F(DatabaseTest, RevokeThenSaveDoesNotResurrectOnLoad) {
   const auto dir = (std::filesystem::temp_directory_path() /
                     ("xpuf_db_revoke_" + std::to_string(::getpid())))
                        .string();
-  db_.issue(1, rng_);  // give device 1 a ledger file too
+  db_.issue(1, rng_);  // give device 1 ledger entries too
   db_.save(dir);
-  EXPECT_TRUE(std::filesystem::exists(dir + "/device_1.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/store_manifest"))
+      << "save() writes the binary store layout";
+  {
+    ServerDatabase first = ServerDatabase::load(
+        dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}});
+    EXPECT_TRUE(first.knows(1));
+    EXPECT_EQ(first.issued_count(1), 16u);
+  }
 
   db_.revoke_device(1);
   db_.save(dir);  // must reconcile, not accrete
-  EXPECT_FALSE(std::filesystem::exists(dir + "/device_1.csv"));
-  EXPECT_FALSE(std::filesystem::exists(dir + "/ledger_1.csv"));
 
   ServerDatabase loaded = ServerDatabase::load(
       dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}});
@@ -200,6 +210,150 @@ TEST_F(DatabaseTest, SaveAndLoadPreservesModelsAndLedger) {
   // The restored database still authenticates the genuine chip.
   const DatabaseAuthOutcome out =
       loaded.authenticate(pop_.chip(0), sim::Environment::nominal(), rng_);
+  EXPECT_TRUE(out.outcome.approved);
+  std::filesystem::remove_all(dir);
+}
+
+// The legacy CSV layout (PR 3's save format) must keep loading, and one
+// save() must migrate it to the binary store bit-exactly: same models, same
+// ledger keys, challenge strings converted to packed form.
+TEST_F(DatabaseTest, LegacyCsvDirectoryMigratesToBinaryOnFirstSave) {
+  const auto dir = (std::filesystem::temp_directory_path() /
+                    ("xpuf_db_legacy_" + std::to_string(::getpid())))
+                       .string();
+  std::filesystem::create_directories(dir);
+  // Write the legacy layout by hand: device_<id>.csv per model plus a
+  // ledger_<id>.csv of '0'/'1' challenge strings.
+  const std::size_t stages = db_.model(0).stages();
+  std::vector<std::string> rows;
+  Rng crng(4242);
+  for (int r = 0; r < 5; ++r) {
+    std::string row(stages, '0');
+    for (auto& ch : row) ch = crng.uniform() < 0.5 ? '0' : '1';
+    rows.push_back(row);
+  }
+  for (std::size_t id : {std::size_t{0}, std::size_t{1}})
+    save_server_model(db_.model(id), dir + "/device_" + std::to_string(id) + ".csv");
+  {
+    CsvWriter ledger(dir + "/ledger_0.csv", {"challenge"});
+    for (const auto& row : rows) ledger.write_row(std::vector<std::string>{row});
+  }
+
+  ServerDatabase loaded = ServerDatabase::load(
+      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}});
+  EXPECT_EQ(loaded.device_count(), 2u);
+  EXPECT_EQ(loaded.issued_count(0), rows.size());
+  EXPECT_EQ(loaded.issued_count(1), 0u);
+
+  loaded.save(dir);  // the migration point
+  EXPECT_TRUE(std::filesystem::exists(dir + "/store_manifest"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/device_0.csv"))
+      << "migration must retire the CSV files after the snapshot is durable";
+  EXPECT_FALSE(std::filesystem::exists(dir + "/ledger_0.csv"));
+
+  // Round trip through the binary format is bit-exact: model weights and the
+  // packed form of every legacy ledger row survive.
+  ServerDatabase migrated = ServerDatabase::load(
+      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}});
+  EXPECT_EQ(migrated.device_count(), 2u);
+  for (std::size_t id : {std::size_t{0}, std::size_t{1}}) {
+    const ServerModel& original = db_.model(id);
+    const ServerModel& survived = migrated.model(id);
+    ASSERT_EQ(survived.puf_count(), original.puf_count());
+    for (std::size_t p = 0; p < original.puf_count(); ++p)
+      EXPECT_EQ(survived.puf(p).model.weights().raw(),
+                original.puf(p).model.weights().raw());
+  }
+  const store::EnrollmentStore st =
+      store::EnrollmentStore::open(dir, store::StoreOptions{});
+  std::set<std::string> expected_keys;
+  for (const auto& row : rows) {
+    Challenge c;
+    for (char ch : row) c.push_back(ch == '1' ? 1 : 0);
+    expected_keys.insert(store::pack_challenge(c));
+  }
+  EXPECT_EQ(st.ledger(0), expected_keys);
+  std::filesystem::remove_all(dir);
+}
+
+// Regression (ISSUE 8): load() silently skipped ledger_* files whose
+// device_* partner was missing — the residue of a mid-save crash of the old
+// delete-then-write writer. Forgetting issued challenges re-opens the replay
+// window, so an orphan must fail loudly.
+TEST_F(DatabaseTest, OrphanedLegacyLedgerIsAParseError) {
+  const auto dir = (std::filesystem::temp_directory_path() /
+                    ("xpuf_db_orphan_" + std::to_string(::getpid())))
+                       .string();
+  std::filesystem::create_directories(dir);
+  save_server_model(db_.model(0), dir + "/device_0.csv");
+  {
+    CsvWriter ledger(dir + "/ledger_9.csv", {"challenge"});
+    ledger.write_row(std::vector<std::string>{std::string(db_.model(0).stages(), '1')});
+  }
+  EXPECT_THROW(ServerDatabase::load(
+                   dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {}}),
+               ParseError);
+  std::filesystem::remove_all(dir);
+}
+
+// Corrupt legacy ledger rows (bad characters or wrong width) must be a
+// ParseError, not a silently different replay key.
+TEST_F(DatabaseTest, CorruptLegacyLedgerRowIsAParseError) {
+  const auto dir = (std::filesystem::temp_directory_path() /
+                    ("xpuf_db_badrow_" + std::to_string(::getpid())))
+                       .string();
+  for (const char* bad : {"01x", "01"}) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    save_server_model(db_.model(0), dir + "/device_0.csv");
+    {
+      CsvWriter ledger(dir + "/ledger_0.csv", {"challenge"});
+      ledger.write_row(std::vector<std::string>{bad});
+    }
+    EXPECT_THROW(ServerDatabase::load(
+                     dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {}}),
+                 ParseError)
+        << "ledger row '" << bad << "' accepted";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// A store-backed database shares the serving semantics of the in-memory one
+// but every op is durable: kill the object at any point and reopen.
+TEST_F(DatabaseTest, BackedDatabaseAuthenticatesAndSurvivesReopen) {
+  const auto dir = (std::filesystem::temp_directory_path() /
+                    ("xpuf_db_backed_" + std::to_string(::getpid())))
+                       .string();
+  std::filesystem::remove_all(dir);
+  const DatabaseConfig cfg{.n_pufs = kNPufs, .policy = {.challenge_count = 16}};
+  store::StoreOptions opts;
+  opts.n_shards = 2;
+  opts.cache_capacity = 1;  // harsher than any deployment would pick
+  EnrollmentConfig ecfg;
+  ecfg.training_challenges = 2'000;
+  ecfg.trials = 2'000;
+  {
+    ServerDatabase db = ServerDatabase::open(dir, cfg, opts);
+    EXPECT_TRUE(db.backed());
+    for (std::size_t i = 0; i < pop_.size(); ++i) {
+      ServerModel m = Enroller(ecfg).enroll(pop_.chip(i), rng_);
+      m.set_betas(BetaFactors{0.85, 1.15});
+      db.register_device(std::move(m));
+    }
+    const DatabaseAuthOutcome out =
+        db.authenticate(pop_.chip(0), sim::Environment::nominal(), rng_);
+    EXPECT_TRUE(out.outcome.approved);
+    EXPECT_EQ(db.issued_count(0), 16u);
+    EXPECT_EQ(db.store().cache_size(), 1u);
+  }  // no save(): durability came from the op log itself
+  ServerDatabase reopened = ServerDatabase::open(dir, cfg, opts);
+  EXPECT_EQ(reopened.device_count(), 2u);
+  EXPECT_EQ(reopened.issued_count(0), 16u);
+  EXPECT_THROW(reopened.model(0), std::invalid_argument)
+      << "backed databases serve via model_snapshot(), not references";
+  EXPECT_NE(reopened.model_snapshot(0), nullptr);
+  const DatabaseAuthOutcome out =
+      reopened.authenticate(pop_.chip(0), sim::Environment::nominal(), rng_);
   EXPECT_TRUE(out.outcome.approved);
   std::filesystem::remove_all(dir);
 }

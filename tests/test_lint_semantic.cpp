@@ -221,6 +221,77 @@ TEST(LintWirePairing, AConsistentCodecIsClean) {
   EXPECT_TRUE(with_rule(report, "wire-pairing").empty());
 }
 
+// ISSUE 8: the pass also covers the enrollment-store codec (record.cpp), and
+// folds the same-stem header into the local symbol set so inline byte
+// primitives there are width-checked too. The violation anchors to the
+// header, where the offending definition actually lives.
+TEST(LintWirePairing, ChecksHeaderInlinePrimitivesOfARecordCodec) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/puf/store/record.hpp",
+       "#pragma once\n"
+       "inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {\n"
+       "  for (int shift = 0; shift < 32; shift += 8)\n"
+       "    out.push_back(static_cast<std::uint8_t>(v >> shift));\n"
+       "}\n"
+       "inline bool RecordReader::read_u32(std::uint32_t& v) {\n"
+       "  if (remaining() < 2) return false;\n"
+       "  v = take32();\n"
+       "  return true;\n"
+       "}\n"},
+      {"src/puf/store/record.cpp",
+       "void encode_item(std::vector<std::uint8_t>& out) {\n"
+       "  out.reserve(4);\n"
+       "  put_u32(out, 7);\n"
+       "}\n"
+       "void decode_item(Cursor& in) {\n"
+       "  read_u32(in);\n"
+       "}\n"},
+  });
+  const auto hits = with_rule(report, "wire-pairing");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/puf/store/record.hpp");
+  EXPECT_NE(hits[0].message.find("guards 2"), std::string::npos);
+}
+
+TEST(LintWirePairing, ARecordCodecWithHeaderConstantsIsClean) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/puf/store/record.hpp",
+       "#pragma once\n"
+       "inline constexpr std::uint32_t kItemBytes = 6;\n"
+       "inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {\n"
+       "  out.push_back(static_cast<std::uint8_t>(v));\n"
+       "  out.push_back(static_cast<std::uint8_t>(v >> 8));\n"
+       "}\n"
+       "inline bool RecordReader::read_u16(std::uint16_t& v) {\n"
+       "  if (remaining() < 2) return false;\n"
+       "  v = take16();\n"
+       "  return true;\n"
+       "}\n"
+       "inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {\n"
+       "  for (int shift = 0; shift < 32; shift += 8)\n"
+       "    out.push_back(static_cast<std::uint8_t>(v >> shift));\n"
+       "}\n"
+       "inline bool RecordReader::read_u32(std::uint32_t& v) {\n"
+       "  if (remaining() < 4) return false;\n"
+       "  v = take32();\n"
+       "  return true;\n"
+       "}\n"},
+      {"src/puf/store/record.cpp",
+       "void encode_item(std::vector<std::uint8_t>& out,\n"
+       "                 const std::vector<std::uint8_t>& payload) {\n"
+       "  out.reserve(kItemBytes + payload.size());\n"
+       "  put_u16(out, 7);\n"
+       "  put_u32(out, static_cast<std::uint32_t>(payload.size()));\n"
+       "  out.insert(out.end(), payload.begin(), payload.end());\n"
+       "}\n"
+       "void decode_item(Cursor& in) {\n"
+       "  read_u16(in);\n"
+       "  read_u32(in);\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(with_rule(report, "wire-pairing").empty());
+}
+
 // --- Metrics accounting -----------------------------------------------------
 
 TEST(LintMetricsAccounting, FlagsDeadAndUnauditedCounters) {

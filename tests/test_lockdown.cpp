@@ -1,6 +1,9 @@
 // Tests for the lockdown CRP-budget gate extension.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "puf/extensions/lockdown.hpp"
 
 namespace xpuf::puf {
@@ -30,6 +33,32 @@ TEST(Lockdown, OverflowingRequestAtBoundaryIsDenied) {
   EXPECT_TRUE(gate.authorize(3, 9));
   EXPECT_FALSE(gate.authorize(3, 2));
   EXPECT_TRUE(gate.authorize(3, 1));
+}
+
+// Regression (ISSUE 8): authorize() computed `used + count > budget`, so a
+// request sized to wrap uint64 (count close to 2^64) overflowed the sum to a
+// tiny value and bypassed the lifetime budget entirely — the exact
+// chosen-challenge harvest the gate exists to stop.
+TEST(Lockdown, HugeRequestCannotWrapPastTheBudget) {
+  LockdownGate gate(LockdownPolicy{.lifetime_crp_budget = 100});
+  EXPECT_TRUE(gate.authorize(5, 60));
+  // used=60: `60 + (2^64 - 1)` wraps to 59 <= 100 under the old arithmetic.
+  EXPECT_FALSE(gate.authorize(5, std::numeric_limits<std::uint64_t>::max()));
+  EXPECT_FALSE(gate.authorize(5, std::numeric_limits<std::uint64_t>::max() - 59));
+  EXPECT_EQ(gate.issued(5), 60u) << "a denied wrap attempt must not debit";
+  // The boundary itself still works.
+  EXPECT_TRUE(gate.authorize(5, 40));
+  EXPECT_EQ(gate.remaining(5), 0u);
+  EXPECT_FALSE(gate.authorize(5, 1));
+}
+
+// The wrap guard must also hold at the extreme budget (used == budget == max).
+TEST(Lockdown, MaxBudgetBoundaryIsExact) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  LockdownGate gate(LockdownPolicy{.lifetime_crp_budget = kMax});
+  EXPECT_TRUE(gate.authorize(9, kMax));
+  EXPECT_EQ(gate.remaining(9), 0u);
+  EXPECT_FALSE(gate.authorize(9, 1));
 }
 
 TEST(Lockdown, ZeroCountIsRejected) {

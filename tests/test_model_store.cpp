@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
@@ -119,6 +120,41 @@ TEST_F(ModelStoreTest, RejectsCorruptedNumbers) {
 
 TEST_F(ModelStoreTest, MissingFileThrows) {
   EXPECT_THROW(load_server_model("/nonexistent/nowhere.csv"), ParseError);
+}
+
+// Regression (ISSUE 8): the integer header fields (chip id, puf count,
+// stages, puf index) were parsed through parse_double, which silently rounds
+// ids above 2^53 — two distinct devices could collapse onto one server
+// record. Integer fields must round-trip every uint64 exactly.
+TEST_F(ModelStoreTest, HugeChipIdRoundTripsExactly) {
+  // 2^53 + 1 is the first integer a double cannot represent; max() is the
+  // worst case. Both must survive save -> load without collapsing.
+  for (const std::size_t id :
+       {(std::size_t{1} << 53) + 1, std::numeric_limits<std::size_t>::max()}) {
+    std::vector<PufEnrollment> pufs;
+    for (std::size_t p = 0; p < model_.puf_count(); ++p) pufs.push_back(model_.puf(p));
+    ServerModel renamed(id, std::move(pufs));
+    renamed.set_betas(model_.betas());
+    save_server_model(renamed, path_);
+    EXPECT_EQ(load_server_model(path_).chip_id(), id)
+        << "chip id " << id << " was rounded through a double";
+  }
+}
+
+// Regression (ISSUE 8): parse_double accepted "1e3", "12.0" and negative
+// spellings for count-like fields; an exact integer parse must reject them.
+TEST_F(ModelStoreTest, RejectsNonIntegerCountFields) {
+  for (const char* bad : {"1e1", "3.0", "-3", "+3", " 3", "3 ", "0x3", ""}) {
+    save_server_model(model_, path_);
+    CsvData data = read_csv(path_);
+    data.header[4] = bad;  // puf count
+    {
+      CsvWriter out(path_, data.header);
+      for (const auto& r : data.rows) out.write_row(r);
+    }
+    EXPECT_THROW(load_server_model(path_), ParseError)
+        << "puf count '" << bad << "' accepted";
+  }
 }
 
 }  // namespace

@@ -66,6 +66,7 @@ def main() -> None:
     ab_pairs = [
         ("scalar_seconds", "batched_seconds", "batched"),
         ("materialized_seconds", "streaming_seconds", "streaming"),
+        ("uncached_seconds", "cached_seconds", "lru-cached"),
     ]
     found_pair = False
     for ref_key, opt_key, label in ab_pairs:

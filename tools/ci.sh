@@ -18,6 +18,11 @@
 #             binaries assert bit-identity, the gate checks each timing
 #             JSON and that the optimized side has not regressed —
 #             tools/check_bench_regression.py)
+#   store     bench_db_scale at CI scale (sharded enrollment store: binary
+#             log enrollment, LRU-bounded authentication with the in-run
+#             flat-RSS and zero-metrics-drift audits, cold-replay recovery,
+#             compaction); the gate checks the timing JSON and that the
+#             LRU-cached serve path has not regressed behind cold replay
 #   metrics   one bench run with --metrics-out, then a JSON schema check of
 #             the snapshot (tools/check_metrics_schema.py): counters/gauges/
 #             histograms/spans shape, nonzero selection cost, nonzero replay
@@ -134,6 +139,20 @@ bench_job() {
     fi
 }
 
+# Enrollment-store scale bench at a CI-sized fleet. The binary itself is
+# the crash-safety/accounting audit (flat RSS with the LRU at 1% of the
+# fleet, cache/ledger/shard counter identities, cold-replay equivalence,
+# compaction round-trip); the gate checks the timing artifact and that the
+# cached serve path has not regressed behind uncached cold replay.
+store_job() {
+  "${prefix}/bench/bench_db_scale" --devices 4000 --auths 800 &&
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/check_bench_regression.py bench_out/db_scale_timing.json
+    else
+      echo "python3 absent; timing check skipped (bench_out/db_scale_timing.json)"
+    fi
+}
+
 # Lint artifact + suppression-budget gate. The engine's exit code is folded
 # into the python gate (which prints the offending findings); without
 # python3 the raw exit code is the gate.
@@ -193,6 +212,7 @@ run_job release release_job
 run_job lint lint_job
 run_job fanalyzer fanalyzer_job
 run_job bench bench_job
+run_job store store_job
 run_job metrics metrics_job
 run_job service service_job
 run_job asan asan_job

@@ -59,8 +59,9 @@ const std::vector<RuleInfo> kRules = {
      "std::unordered_* iteration feeds an accumulation; hash order is unspecified, so "
      "floating-point results drift across runs"},
     {"wire-pairing",
-     "wire codec halves drifted: put_uN without a width-matched read_uN, encode/decode "
-     "sequences out of sync, or reserve() not accounting the fixed frame bytes"},
+     "codec halves drifted (wire.cpp / record.cpp + same-stem header): put_uN without "
+     "a width-matched read_uN, encode/decode sequences out of sync, or reserve() not "
+     "accounting the fixed frame bytes"},
     {"metrics-accounting",
      "registered counter is never incremented, or incremented but never audited by a "
      "tests//bench/ expectation or a total() consumer"},

@@ -51,7 +51,8 @@
 //                        parallel_reduce body
 //   unordered-fp         std::unordered_* iteration feeding an accumulation;
 //                        hash order is unspecified, FP results drift
-//   wire-pairing         put_uN without a width-matching read_uN, encode/
+//   wire-pairing         in wire.cpp or record.cpp (+ same-stem header):
+//                        put_uN without a width-matching read_uN, encode/
 //                        decode field sequences out of sync, or reserve()
 //                        constants drifted from the fixed frame layout
 //   metrics-accounting   a src/ counter registration that is never

@@ -31,7 +31,8 @@ std::vector<Violation> pass_layering(const ProjectIndex& index);
 /// on hash iteration order.
 std::vector<Violation> pass_determinism(const ProjectIndex& index);
 
-/// Rule `wire-pairing`: in the wire codec TU, every put_uN must have a
+/// Rule `wire-pairing`: in a codec TU (wire.cpp or the enrollment-store's
+/// record.cpp, together with its same-stem header), every put_uN must have a
 /// byte-width-matching read_uN, every encode_X's put sequence must mirror
 /// decode_X's read sequence, and each encode_X's reserve() constant must
 /// equal the fixed byte footprint of its put calls.

@@ -132,13 +132,25 @@ bool find_reserve_arg(const std::string& body, std::string& arg) {
 std::vector<Violation> pass_wire_pairing(const ProjectIndex& index) {
   std::vector<Violation> out;
   for (const SourceFile& f : index.files) {
-    if (basename_of(f.rel_path) != "wire.cpp") continue;
+    const std::string base = basename_of(f.rel_path);
+    if (base != "wire.cpp" && base != "record.cpp") continue;
+    // Same-stem header: wire.cpp <-> wire.hpp, record.cpp <-> record.hpp.
+    const std::string dir = dir_of(f.rel_path);
+    const std::string stem = base.substr(0, base.size() - 4);
+    const std::string header_rel =
+        dir.empty() ? stem + ".hpp" : dir + "/" + stem + ".hpp";
 
-    // Functions defined in this TU, by name.
+    // Functions defined in this TU (or inline in its paired header — the
+    // byte primitives of a header-only codec), by name. A TU definition
+    // shadows a same-named header one.
     std::map<std::string, const FunctionSym*> local;
     for (const auto& [name, syms] : index.functions)
-      for (const FunctionSym& s : syms)
-        if (s.file == f.rel_path) local[name] = &s;
+      for (const FunctionSym& s : syms) {
+        if (s.file == f.rel_path)
+          local[name] = &s;
+        else if (s.file == header_rel)
+          local.emplace(name, &s);
+      }
     const bool is_codec =
         std::any_of(local.begin(), local.end(), [](const auto& kv) {
           return kv.first.rfind("put_u", 0) == 0 || kv.first.rfind("encode_", 0) == 0;
@@ -148,9 +160,7 @@ std::vector<Violation> pass_wire_pairing(const ProjectIndex& index) {
     // Constants resolve from the TU and its paired header.
     std::map<std::string, std::uint64_t> constants;
     collect_constants(f.code, constants);
-    const std::string dir = dir_of(f.rel_path);
-    if (const SourceFile* hdr =
-            index.file(dir.empty() ? "wire.hpp" : dir + "/wire.hpp"))
+    if (const SourceFile* hdr = index.file(header_rel))
       collect_constants(hdr->code, constants);
 
     // 1. put_uN <-> read_uN pairing, with byte-width verification on both
@@ -164,24 +174,24 @@ std::vector<Violation> pass_wire_pairing(const ProjectIndex& index) {
       if (m[1].str() == "put") {
         const std::string counterpart = "read_u" + m[2].str();
         if (index.functions.find(counterpart) == index.functions.end())
-          out.push_back({f.rel_path, sym->line, "wire-pairing",
+          out.push_back({sym->file, sym->line, "wire-pairing",
                          name + " has no " + counterpart +
                              " counterpart; every field writer needs a "
                              "bounds-checked reader"});
         const std::uint64_t wrote = put_body_bytes(sym->body);
         if (wrote != bytes)
-          out.push_back({f.rel_path, sym->line, "wire-pairing",
+          out.push_back({sym->file, sym->line, "wire-pairing",
                          name + " appends " + std::to_string(wrote) + " byte(s); its "
                              "name promises " + std::to_string(bytes)});
       } else {
         static const std::regex guard(R"(remaining\s*\(\s*\)\s*<\s*(\d+))");
         std::smatch g;
         if (!std::regex_search(sym->body, g, guard)) {
-          out.push_back({f.rel_path, sym->line, "wire-pairing",
+          out.push_back({sym->file, sym->line, "wire-pairing",
                          name + " has no remaining() bounds check; a truncated frame "
                              "would read past the buffer"});
         } else if (std::stoull(g[1].str()) != bytes) {
-          out.push_back({f.rel_path, sym->line, "wire-pairing",
+          out.push_back({sym->file, sym->line, "wire-pairing",
                          name + " guards " + g[1].str() + " byte(s); its name promises " +
                              std::to_string(bytes)});
         }
@@ -194,7 +204,7 @@ std::vector<Violation> pass_wire_pairing(const ProjectIndex& index) {
       const std::string counterpart = "decode_" + name.substr(7);
       const auto dec = local.find(counterpart);
       if (dec == local.end()) {
-        out.push_back({f.rel_path, sym->line, "wire-pairing",
+        out.push_back({sym->file, sym->line, "wire-pairing",
                        name + " has no " + counterpart + "; one-way payloads cannot "
                            "round-trip"});
         continue;
@@ -202,7 +212,7 @@ std::vector<Violation> pass_wire_pairing(const ProjectIndex& index) {
       const std::vector<int> puts = put_sequence(sym->body);
       const std::vector<int> reads = read_sequence(dec->second->body);
       if (puts != reads)
-        out.push_back({f.rel_path, sym->line, "wire-pairing",
+        out.push_back({sym->file, sym->line, "wire-pairing",
                        name + " writes " + sequence_to_string(puts) + " but " +
                            counterpart + " reads " + sequence_to_string(reads) +
                            "; field order and widths must match byte for byte"});
@@ -218,7 +228,7 @@ std::vector<Violation> pass_wire_pairing(const ProjectIndex& index) {
       if (fixed == 0) continue;
       std::string arg;
       if (!find_reserve_arg(sym->body, arg)) {
-        out.push_back({f.rel_path, sym->line, "wire-pairing",
+        out.push_back({sym->file, sym->line, "wire-pairing",
                        name + " writes " + std::to_string(fixed) + " fixed bytes but "
                            "never reserves them; add a reserve() accounting for the "
                            "frame layout"});
@@ -226,7 +236,7 @@ std::vector<Violation> pass_wire_pairing(const ProjectIndex& index) {
       }
       const std::uint64_t stated = reserve_constant_sum(arg, constants);
       if (stated != fixed)
-        out.push_back({f.rel_path, sym->line, "wire-pairing",
+        out.push_back({sym->file, sym->line, "wire-pairing",
                        name + " reserves " + std::to_string(stated) +
                            " fixed byte(s) but its put calls write " +
                            std::to_string(fixed) +
