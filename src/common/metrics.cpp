@@ -75,8 +75,42 @@ std::uint64_t Histogram::total() const {
   return total;
 }
 
+double Histogram::quantile(double p) const { return histogram_quantile(bounds_, counts(), p); }
+
 void Histogram::reset() {
   for (auto& b : buckets_) zero_cells(b);
+}
+
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& counts, double p) {
+  XPUF_REQUIRE(p >= 0.0 && p <= 1.0, "quantile p must be in [0, 1]");
+  XPUF_REQUIRE(counts.size() == bounds.size() + 1,
+               "histogram counts must have bounds + 1 entries");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+
+  // Locate the bucket holding rank p*total, then interpolate linearly across
+  // the bucket's span. The first bucket interpolates up from 0; the overflow
+  // bucket has no upper edge, so it clamps to the highest finite bound (the
+  // standard histogram_quantile convention — quantiles beyond the last bound
+  // are not resolvable from fixed buckets).
+  const double rank = p * static_cast<double>(total);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double cumulative = static_cast<double>(below + counts[i]);
+    if (cumulative >= rank) {
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double into = (rank - static_cast<double>(below)) /
+                          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, into));
+    }
+    below += counts[i];
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 void SpanStat::record(double seconds) {

@@ -90,6 +90,13 @@ class Histogram {
   std::vector<std::uint64_t> counts() const;
   std::uint64_t total() const;
 
+  /// Estimated p-quantile (0 <= p <= 1) of the observed distribution, by
+  /// linear interpolation within the bucket holding the target rank (the
+  /// Prometheus histogram_quantile convention: the first bucket interpolates
+  /// up from 0, the overflow bucket clamps to the highest finite bound).
+  /// Returns 0.0 on an empty histogram.
+  double quantile(double p) const;
+
   void reset();
 
  private:
@@ -120,6 +127,12 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries
   std::uint64_t total = 0;
 };
+
+/// Quantile over already-merged (bounds, counts) — the same estimator
+/// Histogram::quantile uses, usable on a HistogramSnapshot after the live
+/// histogram was reset.
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::uint64_t>& counts, double p);
 
 struct SpanSnapshot {
   std::uint64_t calls = 0;

@@ -1,0 +1,51 @@
+#include "net/async/acceptor.hpp"
+
+#include <utility>
+
+#include "common/metrics.hpp"
+#include "net/wire.hpp"
+
+namespace xpuf::net::async {
+
+std::size_t Acceptor::drain(const std::function<bool(Fd&)>& admit) {
+  static Counter& accepted =
+      MetricsRegistry::global().counter("net.async.connections_accepted");
+  static Counter& overflow =
+      MetricsRegistry::global().counter("net.async.accept_overflow");
+  std::size_t admitted = 0;
+  for (;;) {
+    AcceptResult r = sys_accept(listen_fd_);
+    if (r.status != IoStatus::kOk) break;  // kWouldBlock: backlog drained
+    ++accepted_;
+    accepted.add();
+    if (admit(r.fd)) {
+      ++admitted;
+    } else {
+      ++overflowed_;
+      overflow.add();
+      refuse(std::move(r.fd));
+    }
+  }
+  return admitted;
+}
+
+void Acceptor::refuse(Fd fd) {
+  // Best-effort typed rejection: a freshly-accepted localhost socket always
+  // has room for one 32-byte frame in its send buffer, so a single write
+  // suffices; if it still short-writes, closing is the only remaining move
+  // and the overflow counter has already recorded the event.
+  Frame frame;
+  frame.header.type = FrameType::kNack;
+  frame.header.device_id = 0;
+  frame.header.session_id = 0;
+  frame.header.seq = 0;
+  NackPayload nack;
+  nack.reason = NackReason::kBusy;
+  nack.retry_after_rounds = busy_retry_ticks_;
+  frame.payload = encode_nack(nack);
+  const std::vector<std::uint8_t> blob = encode_frame(frame);
+  sys_write(fd, blob.data(), blob.size());
+  // fd closes on scope exit (RAII).
+}
+
+}  // namespace xpuf::net::async

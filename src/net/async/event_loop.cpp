@@ -1,0 +1,64 @@
+#include "net/async/event_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/metrics.hpp"
+
+namespace xpuf::net::async {
+
+EventLoop::EventLoop(Clock& clock, std::size_t wheel_slots)
+    : clock_(&clock), epoll_(sys_epoll_create()), wheel_(wheel_slots) {}
+
+bool EventLoop::add(int fd, EventHandler* handler) {
+  if (!sys_epoll_add(epoll_, fd, static_cast<std::uint64_t>(fd))) return false;
+  handlers_[fd] = handler;
+  return true;
+}
+
+void EventLoop::remove(int fd) {
+  if (handlers_.erase(fd) > 0) sys_epoll_del(epoll_, fd);
+}
+
+void EventLoop::arm_timer(std::uint64_t deadline, std::uint64_t key) {
+  wheel_.arm(deadline, key);
+}
+
+std::size_t EventLoop::poll(int max_wait_ms) {
+  // Bound the wait by the next armed deadline so a quiet loop still fires
+  // TTL/retransmit timers on time.
+  int wait_ms = max_wait_ms;
+  std::uint64_t next = 0;
+  if (wheel_.next_deadline(next)) {
+    const double until = clock_->millis_until(next);
+    const int capped =
+        until >= 1e9 ? 1000000000 : static_cast<int>(std::ceil(until));
+    wait_ms = wait_ms < 0 ? capped : std::min(wait_ms, capped);
+  }
+  if (wait_ms < 0) wait_ms = -1;  // no timers armed: caller's wait verbatim
+
+  events_.clear();
+  sys_epoll_wait(epoll_, wait_ms, events_);
+  std::size_t dispatched = 0;
+  for (const ReadyEvent& ev : events_) {
+    // A handler dispatched earlier in this batch may have removed a later
+    // fd; the map lookup makes stale events harmless.
+    auto it = handlers_.find(static_cast<int>(ev.key));
+    if (it == handlers_.end()) continue;
+    it->second->on_ready(ev.readable, ev.writable, ev.hangup);
+    ++dispatched;
+  }
+
+  if (timer_handler_) {
+    static Counter& timers_fired =
+        MetricsRegistry::global().counter("net.async.timers_fired");
+    const std::uint64_t now = clock_->ticks();
+    for (const TimerEntry& entry : wheel_.collect_due(now)) {
+      timers_fired.add();
+      timer_handler_(entry.key, now);
+    }
+  }
+  return dispatched;
+}
+
+}  // namespace xpuf::net::async

@@ -6,52 +6,39 @@
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/trace.hpp"
+#include "net/server_session.hpp"
 
 namespace xpuf::net {
 
 namespace {
 
-// StreamFamily key domains; the shifts keep (device, session) pairs and the
-// two directions of one connection on decorrelated streams.
-std::uint64_t issue_key(std::uint64_t device_id, std::uint32_t session_id) {
-  return (device_id << 20) ^ static_cast<std::uint64_t>(session_id);
-}
+// StreamFamily key of a connection's fault stream; the two directions of one
+// connection land on decorrelated streams. (Issuance keys live in
+// server_session.cpp — issue_stream_key — shared with the async engine.)
 std::uint64_t fault_key(std::uint64_t device_id, bool server_side) {
   return device_id * 2 + (server_side ? 1 : 0);
 }
 
 }  // namespace
 
-/// Server-side view of one device's current session.
-struct ServerSession {
-  enum class State : std::uint8_t {
-    kNone = 0,        ///< no open session (fresh, expired, or never opened)
-    kChallengeSent,   ///< batch issued, awaiting RESPONSE_SUBMIT
-    kDone,            ///< terminal reply cached for idempotent resends
-  };
-
-  State state = State::kNone;
-  std::uint32_t session_id = 0;  ///< highest session id seen from the device
-  std::uint32_t opened_round = 0;
-  puf::ChallengeBatch batch;
-  /// Last reply of the session, re-sent verbatim on duplicates: the
-  /// CHALLENGE_BATCH while kChallengeSent, the AUTH_RESULT/NACK once kDone.
-  FrameType cached_type = FrameType::kNack;
-  std::vector<std::uint8_t> cached_payload;
-};
-
 struct ServiceEngine::Connection {
   Connection(const sim::XorPufChip& chip, const sim::Environment& env,
              Rng measure_rng, const ServiceConfig& config,
-             const StreamFamily& fault_family, std::uint32_t auth_sessions,
-             bool enroll_first, bool revoke_at_end)
+             const StreamFamily& fault_family,
+             const StreamFamily& issue_family, puf::ServerDatabase& db,
+             std::map<std::uint64_t, puf::ServerModel>& provisioned,
+             std::uint32_t auth_sessions, bool enroll_first,
+             bool revoke_at_end)
       : device_id(chip.id()),
         client_tx(c2s_pipe, config.faults, fault_family,
                   fault_key(chip.id(), /*server_side=*/false)),
         server_tx(s2c_pipe, config.faults, fault_family,
                   fault_key(chip.id(), /*server_side=*/true)),
         client(chip, env, measure_rng, client_tx, s2c_pipe, auth_sessions,
-               config.client_policy, enroll_first, revoke_at_end) {}
+               config.client_policy, enroll_first, revoke_at_end),
+        handler(chip.id(), db, provisioned, issue_family,
+                ServerPolicy{config.session_ttl_rounds,
+                             config.busy_retry_rounds}) {}
 
   std::uint64_t device_id;
   PipeTransport c2s_pipe;  ///< client -> server frames land here
@@ -59,7 +46,7 @@ struct ServiceEngine::Connection {
   FaultyTransport client_tx;
   FaultyTransport server_tx;
   DeviceClient client;
-  ServerSession session;
+  ServerSessionHandler handler;
   ChannelStats server_stats;
   std::uint32_t server_seq = 0;
 
@@ -67,6 +54,27 @@ struct ServiceEngine::Connection {
     return client_tx.idle() && server_tx.idle() && c2s_pipe.idle() &&
            s2c_pipe.idle();
   }
+
+  /// Routes handler replies onto this connection's server->client transport,
+  /// stamping the per-connection seq and endpoint stats.
+  class ReplyToPipe final : public ReplySink {
+   public:
+    explicit ReplyToPipe(Connection& conn) : conn_(&conn) {}
+
+    void send(FrameType type, std::uint32_t session_id,
+              std::vector<std::uint8_t> payload) override {
+      Frame frame;
+      frame.header.type = type;
+      frame.header.device_id = conn_->device_id;
+      frame.header.session_id = session_id;
+      frame.header.seq = conn_->server_seq++;
+      frame.payload = std::move(payload);
+      send_frame(conn_->server_tx, frame, conn_->server_stats);
+    }
+
+   private:
+    Connection* conn_;
+  };
 };
 
 struct ServiceEngine::Shard {
@@ -118,7 +126,8 @@ void ServiceEngine::provision(const sim::XorPufChip& chip,
   }
   shard.connections.push_back(std::make_unique<Connection>(
       chip, env, measure_family_.stream(device_id), config_, fault_family_,
-      auth_sessions, enroll_first, revoke_at_end));
+      issue_family_, shard.db, shard.provisioned, auth_sessions, enroll_first,
+      revoke_at_end));
   device_index_.emplace(
       device_id,
       std::make_pair(static_cast<std::uint32_t>(device_id % config_.shards),
@@ -171,219 +180,17 @@ void ServiceEngine::step_shard(std::size_t shard_index, std::uint32_t round) {
 }
 
 void ServiceEngine::serve(Connection& conn, std::uint32_t round) {
-  static Counter& expired =
-      MetricsRegistry::global().counter("net.sessions_expired");
-  ServerSession& session = conn.session;
-  // TTL expiry frees the in-flight slot of a session the client abandoned
-  // mid-handshake; late frames for it get a terminal NACK, not a verify.
-  if (session.state == ServerSession::State::kChallengeSent &&
-      round >= session.opened_round + config_.session_ttl_rounds) {
-    session.state = ServerSession::State::kNone;
-    expired.add(1);
-  }
   static Counter& ignored =
       MetricsRegistry::global().counter("net.frames_ignored");
+  conn.handler.expire_if_due(round);
+  Connection::ReplyToPipe sink(conn);
   while (auto frame = recv_frame(conn.c2s_pipe, conn.server_stats)) {
     if (frame->header.device_id != conn.device_id) {
       ignored.add(1);  // cannot happen on a per-device pipe; counted anyway
       continue;
     }
-    switch (frame->header.type) {
-      case FrameType::kEnrollBegin:
-      case FrameType::kAuthBegin:
-      case FrameType::kRevoke:
-        handle_begin(conn, *frame, round);
-        break;
-      case FrameType::kResponseSubmit:
-        handle_response(conn, *frame);
-        break;
-      default:
-        ignored.add(1);  // client-bound frame types never reach the server
-        break;
-    }
+    conn.handler.handle(*frame, round, sink);
   }
-}
-
-void ServiceEngine::reply(Connection& conn, FrameType type,
-                          std::uint32_t session_id,
-                          std::vector<std::uint8_t> payload) {
-  Frame frame;
-  frame.header.type = type;
-  frame.header.device_id = conn.device_id;
-  frame.header.session_id = session_id;
-  frame.header.seq = conn.server_seq++;
-  frame.payload = std::move(payload);
-  send_frame(conn.server_tx, frame, conn.server_stats);
-}
-
-void ServiceEngine::nack(Connection& conn, std::uint32_t session_id,
-                         NackReason reason,
-                         std::uint16_t retry_after_rounds) {
-  static Counter& nacks = MetricsRegistry::global().counter("net.nacks_sent");
-  nacks.add(1);
-  NackPayload payload;
-  payload.reason = reason;
-  payload.retry_after_rounds = retry_after_rounds;
-  reply(conn, FrameType::kNack, session_id, encode_nack(payload));
-}
-
-void ServiceEngine::terminal_nack(Connection& conn, std::uint32_t session_id,
-                                  NackReason reason) {
-  // Cache the terminal NACK so duplicates of the offending frame are
-  // answered idempotently instead of re-deciding.
-  conn.session.state = ServerSession::State::kDone;
-  conn.session.session_id = session_id;
-  conn.session.cached_type = FrameType::kNack;
-  NackPayload payload;
-  payload.reason = reason;
-  payload.retry_after_rounds = 0;
-  conn.session.cached_payload = encode_nack(payload);
-  nack(conn, session_id, reason, 0);
-}
-
-void ServiceEngine::handle_begin(Connection& conn, const Frame& frame,
-                                 std::uint32_t round) {
-  static Counter& ignored =
-      MetricsRegistry::global().counter("net.frames_ignored");
-  ServerSession& session = conn.session;
-  const std::uint32_t sid = frame.header.session_id;
-  if (sid < session.session_id) {
-    ignored.add(1);  // stale retransmission of a superseded session
-    return;
-  }
-  if (sid == session.session_id &&
-      session.state != ServerSession::State::kNone) {
-    // Duplicate begin: resend whatever the session last answered with.
-    reply(conn, session.cached_type, sid, session.cached_payload);
-    return;
-  }
-  if (sid > session.session_id &&
-      session.state == ServerSession::State::kChallengeSent) {
-    // The previous session still holds the device's in-flight slot; tell
-    // the client to come back after the TTL has had a chance to run.
-    nack(conn, sid, NackReason::kBusy, config_.busy_retry_rounds);
-    return;
-  }
-  // sid == session.session_id with state kNone means the session expired and
-  // the client is still retransmitting its begin; reissuing a fresh batch
-  // under the same id would desynchronize replay accounting, so close it.
-  if (sid == session.session_id) {
-    terminal_nack(conn, sid, NackReason::kBadState);
-    return;
-  }
-  open_session(conn, frame, round);
-}
-
-void ServiceEngine::open_session(Connection& conn, const Frame& frame,
-                                 std::uint32_t round) {
-  auto& registry = MetricsRegistry::global();
-  static Counter& activated = registry.counter("net.enroll_activated");
-  static Counter& revocations = registry.counter("net.revocations");
-  Shard& shard = shard_of(conn.device_id);
-  ServerSession& session = conn.session;
-  const std::uint32_t sid = frame.header.session_id;
-  const auto chip_id = static_cast<std::size_t>(conn.device_id);
-
-  if (frame.header.type == FrameType::kRevoke) {
-    if (!shard.db.knows(chip_id)) {
-      terminal_nack(conn, sid, NackReason::kUnknownDevice);
-      return;
-    }
-    shard.db.revoke_device(chip_id);
-    revocations.add(1);
-    AuthResultPayload ack;
-    ack.status = AuthStatus::kRevokeAck;
-    session.state = ServerSession::State::kDone;
-    session.session_id = sid;
-    session.cached_type = FrameType::kAuthResult;
-    session.cached_payload = encode_auth_result(ack);
-    reply(conn, FrameType::kAuthResult, sid, session.cached_payload);
-    return;
-  }
-
-  if (frame.header.type == FrameType::kEnrollBegin &&
-      !shard.db.knows(chip_id)) {
-    const auto it = shard.provisioned.find(conn.device_id);
-    if (it == shard.provisioned.end()) {
-      terminal_nack(conn, sid, NackReason::kUnknownDevice);
-      return;
-    }
-    shard.db.register_device(std::move(it->second));
-    shard.provisioned.erase(it);
-    activated.add(1);
-  }
-  if (!shard.db.knows(chip_id)) {
-    // AUTH_BEGIN for a device never activated — or revoked earlier.
-    terminal_nack(conn, sid, shard.provisioned.count(conn.device_id) == 0
-                                 ? NackReason::kRevoked
-                                 : NackReason::kUnknownDevice);
-    return;
-  }
-
-  // Challenge issuance draws from a (device, session)-keyed stream so the
-  // batch is a pure function of the session, not of scheduling.
-  Rng issue_rng = issue_family_.stream(issue_key(conn.device_id, sid));
-  puf::ChallengeBatch batch;
-  try {
-    batch = shard.db.issue(chip_id, issue_rng);
-  } catch (const NumericalError&) {
-    terminal_nack(conn, sid, NackReason::kSelectionExhausted);
-    return;
-  }
-  session.state = ServerSession::State::kChallengeSent;
-  session.session_id = sid;
-  session.opened_round = round;
-  session.cached_type = FrameType::kChallengeBatch;
-  session.cached_payload = encode_challenge_batch(
-      batch.challenges, static_cast<std::uint32_t>(batch.challenges.empty()
-                                                       ? 0
-                                                       : batch.challenges[0].size()));
-  session.batch = std::move(batch);
-  reply(conn, FrameType::kChallengeBatch, sid, session.cached_payload);
-}
-
-void ServiceEngine::handle_response(Connection& conn, const Frame& frame) {
-  static Counter& ignored =
-      MetricsRegistry::global().counter("net.frames_ignored");
-  Shard& shard = shard_of(conn.device_id);
-  ServerSession& session = conn.session;
-  const std::uint32_t sid = frame.header.session_id;
-  if (sid != session.session_id) {
-    ignored.add(1);  // stale (old session) or impossible future id
-    return;
-  }
-  if (session.state == ServerSession::State::kDone) {
-    // Duplicate submit after the verdict: resend it, never verify twice.
-    reply(conn, session.cached_type, sid, session.cached_payload);
-    return;
-  }
-  if (session.state == ServerSession::State::kNone) {
-    // The session expired while the response was in flight.
-    terminal_nack(conn, sid, NackReason::kBadState);
-    return;
-  }
-  std::vector<std::uint8_t> bits;
-  if (decode_response_bits(frame.payload, bits) != DecodeStatus::kOk ||
-      bits.size() != session.batch.challenges.size()) {
-    // The frame checksum passed, so this is a protocol violation rather
-    // than line noise — close the session instead of hanging it.
-    terminal_nack(conn, sid, NackReason::kBadState);
-    return;
-  }
-  std::vector<bool> responses;
-  responses.reserve(bits.size());
-  for (std::uint8_t b : bits) responses.push_back(b != 0);
-  const puf::AuthenticationOutcome outcome =
-      shard.db.verify(static_cast<std::size_t>(conn.device_id), session.batch,
-                      responses);
-  AuthResultPayload result;
-  result.status = outcome.approved ? AuthStatus::kApproved : AuthStatus::kDenied;
-  result.mismatches = static_cast<std::uint32_t>(outcome.mismatches);
-  result.challenges_used = static_cast<std::uint32_t>(outcome.challenges_used);
-  session.state = ServerSession::State::kDone;
-  session.cached_type = FrameType::kAuthResult;
-  session.cached_payload = encode_auth_result(result);
-  reply(conn, FrameType::kAuthResult, sid, session.cached_payload);
 }
 
 namespace {
@@ -408,13 +215,12 @@ ServiceReport ServiceEngine::finalize(std::uint32_t rounds, bool all_finished,
   if (!all_idle)
     report.violations.push_back("round budget exhausted with frames in flight");
   std::uint64_t h = 0xc0ffee;
+  std::uint64_t outcome_h = 0xc0ffee;
   std::uint64_t ledger_entries = 0;
   for (const auto& [device_id, where] : device_index_) {
     const Connection& conn = *shards_[where.first]->connections[where.second];
     const Shard& shard = *shards_[where.first];
-    std::uint64_t planned = 0;
     for (const SessionRecord& rec : conn.client.records()) {
-      ++planned;
       report.sessions_total += 1;
       report.retries += rec.retries;
       switch (rec.terminal) {
@@ -434,6 +240,14 @@ ServiceReport ServiceEngine::finalize(std::uint32_t rounds, bool all_finished,
       mix(h, rec.retries);
       mix(h, rec.mismatches);
       mix(h, rec.challenges_used);
+      // Transport-invariant digest: what the session DECIDED, not how many
+      // times the wire made the client ask.
+      mix(outcome_h, device_id);
+      mix(outcome_h, rec.session_id);
+      mix(outcome_h, static_cast<std::uint64_t>(rec.opened_with));
+      mix(outcome_h, static_cast<std::uint64_t>(rec.terminal));
+      mix(outcome_h, rec.mismatches);
+      mix(outcome_h, rec.challenges_used);
     }
     if (!conn.client.finished())
       report.violations.push_back("device " + std::to_string(device_id) +
@@ -480,9 +294,9 @@ ServiceReport ServiceEngine::finalize(std::uint32_t rounds, bool all_finished,
     const auto chip_id = static_cast<std::size_t>(device_id);
     if (shard.db.knows(chip_id))
       ledger_entries += shard.db.issued_count(chip_id);
-    (void)planned;
   }
   report.fingerprint = h;
+  report.outcome_fingerprint = outcome_h;
 
   // Serial pass over counters the engine owns end-to-end: the snapshot must
   // agree with the per-connection ledgers summed above.

@@ -22,6 +22,11 @@
 // expiry — never a crash and never a silent accept. finalize() re-derives
 // every aggregate from per-connection ledgers and reports any drift as a
 // violation string, so "zero accounting drift" is checked, not assumed.
+//
+// The server-side protocol decisions themselves live in server_session.hpp
+// (ServerSessionHandler), shared verbatim with the event-loop engine in
+// async/service_engine.hpp — this engine is the deterministic ORACLE the
+// socket engine reconciles its per-device ledgers against.
 #pragma once
 
 #include <cstdint>
@@ -85,6 +90,10 @@ struct ServiceReport {
   /// Order-independent digest of every session outcome and frame tally;
   /// equal fingerprints across thread counts prove bit-identical runs.
   std::uint64_t fingerprint = 0;
+  /// Digest over session OUTCOMES only (no retries, no frame tallies) — the
+  /// part of a run that is transport-invariant. The event-loop engine
+  /// reconciles its own outcome_fingerprint against this oracle value.
+  std::uint64_t outcome_fingerprint = 0;
 
   bool reconciled() const { return all_finished && violations.empty(); }
 };
@@ -122,15 +131,6 @@ class ServiceEngine {
   Shard& shard_of(std::uint64_t device_id);
   void step_shard(std::size_t shard_index, std::uint32_t round);
   void serve(Connection& conn, std::uint32_t round);
-  void handle_begin(Connection& conn, const Frame& frame, std::uint32_t round);
-  void handle_response(Connection& conn, const Frame& frame);
-  void open_session(Connection& conn, const Frame& frame, std::uint32_t round);
-  void reply(Connection& conn, FrameType type, std::uint32_t session_id,
-             std::vector<std::uint8_t> payload);
-  void nack(Connection& conn, std::uint32_t session_id, NackReason reason,
-            std::uint16_t retry_after_rounds);
-  void terminal_nack(Connection& conn, std::uint32_t session_id,
-                     NackReason reason);
   ServiceReport finalize(std::uint32_t rounds, bool all_finished,
                          bool all_idle);
 

@@ -95,6 +95,7 @@ void DeviceClient::open_next_session(std::uint32_t round) {
   phase_ = begin == FrameType::kRevoke ? SessionPhase::kAwaitResult
                                        : SessionPhase::kAwaitChallenge;
   timeout_cur_ = policy_.timeout_rounds;
+  if (observer_) observer_->on_session_opened(current_.session_id, round);
   transmit(round);
   arm_deadline(round, timeout_cur_);
 }
@@ -116,7 +117,7 @@ void DeviceClient::arm_deadline(std::uint32_t round, std::uint32_t wait) {
 
 void DeviceClient::on_deadline(std::uint32_t round) {
   if (current_.retries >= policy_.max_retries) {
-    finish_session(SessionPhase::kFailed);
+    finish_session(SessionPhase::kFailed, round);
     return;
   }
   static Counter& retries = MetricsRegistry::global().counter("net.retries");
@@ -176,7 +177,8 @@ void DeviceClient::handle(const Frame& frame, std::uint32_t round) {
         current_.challenges_used = result.challenges_used;
       finish_session(result.status == AuthStatus::kDenied
                          ? SessionPhase::kDenied
-                         : SessionPhase::kApproved);
+                         : SessionPhase::kApproved,
+                     round);
       return;
     }
     case FrameType::kNack: {
@@ -186,7 +188,7 @@ void DeviceClient::handle(const Frame& frame, std::uint32_t round) {
         return;
       }
       if (nack.retry_after_rounds == 0) {
-        finish_session(SessionPhase::kRejected);
+        finish_session(SessionPhase::kRejected, round);
         return;
       }
       // Retryable NACK (e.g. busy): wait the advertised number of rounds and
@@ -200,7 +202,8 @@ void DeviceClient::handle(const Frame& frame, std::uint32_t round) {
   }
 }
 
-void DeviceClient::finish_session(SessionPhase terminal) {
+void DeviceClient::finish_session(SessionPhase terminal,
+                                  std::uint32_t round) {
   auto& registry = MetricsRegistry::global();
   static Counter& approved = registry.counter("net.session_approved");
   static Counter& denied = registry.counter("net.session_denied");
@@ -217,6 +220,7 @@ void DeviceClient::finish_session(SessionPhase terminal) {
   records_.push_back(current_);
   ++plan_index_;
   phase_ = finished() ? terminal : SessionPhase::kIdle;
+  if (observer_) observer_->on_session_terminal(records_.back(), round);
 }
 
 }  // namespace xpuf::net

@@ -41,6 +41,14 @@ enum class SessionPhase : std::uint8_t {
 bool is_terminal(SessionPhase phase);
 const char* to_string(SessionPhase phase);
 
+/// Retry policy, expressed in the caller's clock domain. The DeviceClient
+/// never reads a clock: every deadline comparison uses the `round` value
+/// passed into step(), so "rounds" are whatever monotonic tick the engine
+/// supplies — lockstep protocol rounds (where one round is a full RTT and a
+/// timeout of 4 is generous) or event-loop clock ticks (where one tick is
+/// ~1 ms wall time and the same policy needs a far larger window). Engines
+/// that change the clock domain MUST re-size timeout_rounds for it; the
+/// async engine does this via AsyncServiceConfig::client_timeout_ticks.
 struct ClientPolicy {
   std::uint32_t timeout_rounds = 4;  ///< first await window; doubles per retry
   std::uint32_t max_retries = 6;     ///< retransmissions per session
@@ -54,6 +62,18 @@ struct SessionRecord {
   std::uint32_t retries = 0;
   std::uint32_t mismatches = 0;
   std::uint32_t challenges_used = 0;
+};
+
+/// Optional hook into session lifecycle events, for engines that attach
+/// timing (the event loop's latency histogram) without entangling the state
+/// machine with any clock. Callbacks fire synchronously inside step().
+class SessionObserver {
+ public:
+  virtual ~SessionObserver() = default;
+  virtual void on_session_opened(std::uint32_t session_id,
+                                 std::uint32_t round) = 0;
+  virtual void on_session_terminal(const SessionRecord& record,
+                                   std::uint32_t round) = 0;
 };
 
 class DeviceClient {
@@ -78,12 +98,20 @@ class DeviceClient {
   const std::vector<SessionRecord>& records() const { return records_; }
   const ChannelStats& channel_stats() const { return stats_; }
 
+  /// The round step() will act on next if no frame arrives: retransmit (or
+  /// fail the session) once `round >= deadline_round()`. Event-loop engines
+  /// arm their timer wheel off this instead of polling every tick.
+  std::uint32_t deadline_round() const { return deadline_round_; }
+
+  /// `observer` must outlive the client (nullptr detaches).
+  void set_observer(SessionObserver* observer) { observer_ = observer; }
+
  private:
   void open_next_session(std::uint32_t round);
   void handle(const Frame& frame, std::uint32_t round);
   void on_deadline(std::uint32_t round);
   void transmit(std::uint32_t round);
-  void finish_session(SessionPhase terminal);
+  void finish_session(SessionPhase terminal, std::uint32_t round);
   void arm_deadline(std::uint32_t round, std::uint32_t wait);
 
   const sim::XorPufChip* chip_;
@@ -109,6 +137,7 @@ class DeviceClient {
   std::vector<std::uint8_t> pending_payload_;
 
   ChannelStats stats_;
+  SessionObserver* observer_ = nullptr;
 };
 
 }  // namespace xpuf::net

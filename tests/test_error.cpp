@@ -107,6 +107,7 @@ TEST(LintRegistry, RegistryListsTheDocumentedRules) {
   EXPECT_TRUE(xpuf::lint::is_known_rule("vector-bool-parallel"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("require-guard"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("raw-timing"));
+  EXPECT_TRUE(xpuf::lint::is_known_rule("raw-syscall"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("narrowing"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("include-order"));
   EXPECT_TRUE(xpuf::lint::is_known_rule("wire-portability"));
@@ -214,6 +215,44 @@ TEST(LintSource, BadSuppressionIsItselfSuppressible) {
                           "// xpuf-lint: allow-file(bad-suppression)\n"
                           "// xpuf-lint: allow(no-such-rule)\n");
   EXPECT_FALSE(has_rule(v, "bad-suppression"));
+}
+
+TEST(LintSource, FlagsRawSyscallsOutsideTheWrapperTu) {
+  EXPECT_TRUE(has_rule(
+      lint_str("src/net/async/demo.cpp",
+               "if (::connect(fd, addr, len) < 0) return false;\n"),
+      "raw-syscall"));
+  EXPECT_TRUE(has_rule(
+      lint_str("src/puf/store/demo.cpp", "if (errno == EINTR) continue;\n"),
+      "raw-syscall"));
+  EXPECT_TRUE(has_rule(
+      lint_str("src/net/async/demo.cpp",
+               "epoll_ctl(ep, EPOLL_CTL_ADD, fd, &ev);\n"),
+      "raw-syscall"));
+}
+
+TEST(LintSource, ExemptsTheSyscallWrapperTuItself) {
+  EXPECT_FALSE(has_rule(
+      lint_str("src/net/async/syscall.cpp",
+               "if (errno == EINTR) continue;\n"
+               "::close(fd);\n"
+               "epoll_wait(ep, events, 64, timeout);\n"),
+      "raw-syscall"));
+}
+
+TEST(LintSource, WrapperCallsAndQualifiedMembersAreNotRawSyscalls) {
+  // sys_* wrapper calls embed the syscall name after an identifier char.
+  EXPECT_FALSE(has_rule(
+      lint_str("src/net/async/demo.cpp",
+               "sys_epoll_wait(epoll_, wait_ms, events_);\n"),
+      "raw-syscall"));
+  // Class-qualified members named like syscalls (WireReader::read_u8,
+  // Transport::send) are project code, not the libc symbols.
+  EXPECT_FALSE(has_rule(
+      lint_str("src/net/demo.cpp",
+               "bool WireReader::read_u8(std::uint8_t& v) { return ok; }\n"
+               "transport.send(std::move(frame));\n"),
+      "raw-syscall"));
 }
 
 TEST(LintSource, FlagsNondeterminismSources) {

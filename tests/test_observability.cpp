@@ -62,6 +62,64 @@ TEST(MetricsHistogram, BucketCountsAreThreadCountInvariant) {
   ThreadPool::set_global_threads(0);
 }
 
+TEST(MetricsHistogram, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(MetricsHistogram, QuantileRejectsOutOfRangeP) {
+  Histogram h({1.0});
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(MetricsHistogram, SingleBucketQuantileInterpolatesFromZero) {
+  // All mass in the first bucket (v <= 10): the p-quantile interpolates
+  // linearly across [0, 10], so p=0.5 lands at the bucket midpoint.
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 100; ++i) h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(MetricsHistogram, QuantileInterpolatesWithinTheRankedBucket) {
+  // 50 observations <= 10, 50 in (10, 20]: the median sits on the bucket
+  // edge and p=0.75 lands halfway through the second bucket's span.
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 50; ++i) h.observe(1.0);
+  for (int i = 0; i < 50; ++i) h.observe(15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(MetricsHistogram, OverflowBucketClampsToTheHighestFiniteBound) {
+  // Mass beyond the last bound is unresolvable from fixed buckets: the
+  // estimate clamps to bounds.back() instead of extrapolating.
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.observe(100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(MetricsHistogram, SnapshotQuantileMatchesTheLiveHistogram) {
+  auto& registry = MetricsRegistry::global();
+  registry.reset();
+  Histogram& h = registry.histogram("test.quantile_snap", {1.0, 2.0, 4.0, 8.0});
+  Rng rng(1234);
+  for (int i = 0; i < 500; ++i) h.observe(rng.uniform() * 6.0);
+  const MetricsSnapshot snap = registry.snapshot();
+  const HistogramSnapshot& hs = snap.histograms.at("test.quantile_snap");
+  for (const double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(histogram_quantile(hs.bounds, hs.counts, p), h.quantile(p))
+        << "p=" << p;
+  EXPECT_THROW(histogram_quantile({1.0}, {1, 2, 3}, 0.5),
+               std::invalid_argument)
+      << "counts must be bounds+1";
+}
+
 TEST(MetricsHistogram, RejectsUnsortedBoundsAndBoundMismatch) {
   auto& registry = MetricsRegistry::global();
   EXPECT_THROW(Histogram({3.0, 1.0}), std::invalid_argument);

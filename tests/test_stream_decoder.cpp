@@ -1,0 +1,172 @@
+// Tests for the frame stream decoder (net/async/stream_decoder.hpp): the
+// buffer-boundary invariance contract. A stream socket may deliver a frame
+// sequence in ANY byte chunking — one byte at a time, k bytes at a time, or
+// splits landing exactly on header/payload/CRC boundaries — and the decoder
+// must emit the identical blob sequence for every chunking. The dribble
+// sweeps here feed the same valid stream at every split offset and granule
+// size and require bit-identical output, plus resync coverage for garbage
+// prefixes and corrupted CRCs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "net/async/stream_decoder.hpp"
+#include "net/wire.hpp"
+
+namespace xpuf::net::async {
+namespace {
+
+Frame make_frame(std::uint64_t device_id, std::uint32_t session_id,
+                 std::uint32_t seq, std::size_t payload_bytes) {
+  Frame frame;
+  frame.header.type = FrameType::kChallengeBatch;
+  frame.header.device_id = device_id;
+  frame.header.session_id = session_id;
+  frame.header.seq = seq;
+  frame.payload.resize(payload_bytes);
+  for (std::size_t i = 0; i < payload_bytes; ++i)
+    frame.payload[i] = static_cast<std::uint8_t>((i * 7 + seq) & 0xff);
+  return frame;
+}
+
+/// A stream of frames with deliberately varied payload sizes (empty, tiny,
+/// and larger-than-any-chunk) so chunk boundaries land in every region.
+std::vector<std::vector<std::uint8_t>> make_stream() {
+  std::vector<std::vector<std::uint8_t>> encoded;
+  encoded.push_back(encode_frame(make_frame(7, 1, 0, 0)));
+  encoded.push_back(encode_frame(make_frame(7, 1, 1, 3)));
+  encoded.push_back(encode_frame(make_frame(1234, 2, 2, 64)));
+  encoded.push_back(encode_frame(make_frame(7, 3, 3, 1)));
+  return encoded;
+}
+
+std::vector<std::uint8_t> concat(const std::vector<std::vector<std::uint8_t>>& blobs) {
+  std::vector<std::uint8_t> bytes;
+  for (const auto& b : blobs) bytes.insert(bytes.end(), b.begin(), b.end());
+  return bytes;
+}
+
+/// Feeds `bytes` in chunks of `granule` and returns every emitted blob.
+std::vector<std::vector<std::uint8_t>> decode_chunked(
+    const std::vector<std::uint8_t>& bytes, std::size_t granule) {
+  FrameStreamDecoder decoder;
+  std::vector<std::vector<std::uint8_t>> out;
+  for (std::size_t at = 0; at < bytes.size(); at += granule) {
+    const std::size_t n = std::min(granule, bytes.size() - at);
+    decoder.feed(bytes.data() + at, n);
+    while (auto blob = decoder.next()) out.push_back(std::move(*blob));
+  }
+  EXPECT_TRUE(decoder.empty()) << "a whole-frame stream must drain fully";
+  return out;
+}
+
+TEST(FrameStreamDecoder, WholeFrameFeedEmitsIdenticalBlobs) {
+  const auto encoded = make_stream();
+  FrameStreamDecoder decoder;
+  std::vector<std::vector<std::uint8_t>> out;
+  for (const auto& blob : encoded) {
+    decoder.feed(blob.data(), blob.size());
+    while (auto got = decoder.next()) out.push_back(std::move(*got));
+  }
+  ASSERT_EQ(out, encoded);
+  EXPECT_EQ(decoder.resync_bytes(), 0u);
+}
+
+TEST(FrameStreamDecoder, OneByteDribbleIsBoundaryInvariant) {
+  const auto encoded = make_stream();
+  const auto bytes = concat(encoded);
+  EXPECT_EQ(decode_chunked(bytes, 1), encoded)
+      << "1-byte dribble must reproduce the whole-frame decode exactly";
+}
+
+TEST(FrameStreamDecoder, EveryGranuleProducesTheSameStream) {
+  const auto encoded = make_stream();
+  const auto bytes = concat(encoded);
+  // Every granule from 2 bytes up to past the stream length: all chunkings
+  // of the same byte stream are indistinguishable to the consumer.
+  for (std::size_t granule = 2; granule <= bytes.size() + 3; ++granule)
+    ASSERT_EQ(decode_chunked(bytes, granule), encoded)
+        << "granule=" << granule;
+}
+
+TEST(FrameStreamDecoder, EverySplitOffsetOfATwoChunkFeedIsInvariant) {
+  const auto encoded = make_stream();
+  const auto bytes = concat(encoded);
+  // Two-chunk feed split at EVERY offset — this walks the split across every
+  // header byte, payload byte, and CRC byte of every frame in the stream.
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    FrameStreamDecoder decoder;
+    std::vector<std::vector<std::uint8_t>> out;
+    decoder.feed(bytes.data(), split);
+    while (auto blob = decoder.next()) out.push_back(std::move(*blob));
+    decoder.feed(bytes.data() + split, bytes.size() - split);
+    while (auto blob = decoder.next()) out.push_back(std::move(*blob));
+    ASSERT_EQ(out, encoded) << "split=" << split;
+    ASSERT_TRUE(decoder.empty()) << "split=" << split;
+  }
+}
+
+TEST(FrameStreamDecoder, GarbagePrefixResyncsToTheFirstRealFrame) {
+  MetricsRegistry::global().reset();
+  const auto frame = encode_frame(make_frame(9, 1, 0, 8));
+  std::vector<std::uint8_t> bytes = {0xde, 0xad, 0xbe, 0xef, 0x00};
+  const std::size_t garbage = bytes.size();
+  bytes.insert(bytes.end(), frame.begin(), frame.end());
+
+  FrameStreamDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const auto got = decoder.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, frame);
+  EXPECT_EQ(decoder.resync_bytes(), garbage)
+      << "each skipped garbage byte is counted, never silently dropped";
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.empty());
+  // The skip ledger is mirrored in the global counter for the socket bench's
+  // drift audit ("net.async.resync_bytes").
+  EXPECT_EQ(MetricsRegistry::global().snapshot().counters.at(
+                "net.async.resync_bytes"),
+            garbage);
+}
+
+TEST(FrameStreamDecoder, CorruptedCrcResyncsAndStillFindsTheNextFrame) {
+  const auto first = encode_frame(make_frame(3, 1, 0, 4));
+  const auto second = encode_frame(make_frame(3, 1, 1, 4));
+  std::vector<std::uint8_t> bytes = first;
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() - 1] ^= 0x01;  // break the CRC trailer of the first frame
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  FrameStreamDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const auto got = decoder.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, second) << "the decoder must skip past the corrupt frame";
+  EXPECT_GT(decoder.resync_bytes(), 0u);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(FrameStreamDecoder, OversizedLengthFieldNeverStallsTheStream) {
+  // A header claiming a payload beyond kMaxPayloadBytes must be treated as
+  // garbage (skip + resync), not as a frame to wait for — otherwise one bad
+  // length field would stall the connection forever.
+  Frame frame = make_frame(5, 1, 0, 4);
+  std::vector<std::uint8_t> bad = encode_frame(frame);
+  bad[20] = 0xff;  // payload_len LE bytes 20..23
+  bad[21] = 0xff;
+  bad[22] = 0xff;
+  bad[23] = 0x7f;
+  const auto good = encode_frame(make_frame(5, 1, 1, 2));
+  bad.insert(bad.end(), good.begin(), good.end());
+
+  FrameStreamDecoder decoder;
+  decoder.feed(bad.data(), bad.size());
+  const auto got = decoder.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, good);
+}
+
+}  // namespace
+}  // namespace xpuf::net::async

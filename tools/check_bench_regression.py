@@ -67,6 +67,11 @@ def main() -> None:
         ("scalar_seconds", "batched_seconds", "batched"),
         ("materialized_seconds", "streaming_seconds", "streaming"),
         ("uncached_seconds", "cached_seconds", "lru-cached"),
+        # bench_service_load --transport socket: the in-process lockstep
+        # oracle (opt) replays the socket run's workload (ref); parity-with-
+        # slack keeps the oracle from quietly regressing to the point where
+        # reconciliation dominates the socket job.
+        ("socket_seconds", "lockstep_seconds", "lockstep-oracle"),
     ]
     found_pair = False
     for ref_key, opt_key, label in ab_pairs:

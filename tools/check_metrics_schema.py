@@ -11,7 +11,16 @@ net.* counters (tools/ci.sh `service` job, fed by bench_service_load) and
 they must satisfy the frame-conservation and session-partition relations
 the ServiceEngine reconciles.
 
-Usage: check_metrics_schema.py <snapshot.json> [--allow-zero-replay] [--expect-net]
+With --expect-net-socket (tools/ci.sh `service-socket` job, fed by
+bench_service_load --transport socket) the net.* relations above must hold
+AND the event-loop layer must show its work: the net.async.* counters
+present, nonzero accepted connections, byte conservation
+(bytes_read == bytes_written at quiescence), overload evidence
+(request_overflow > 0 — the CI bench always runs its starved-queue phase),
+and a session latency histogram accounting for every opened session.
+
+Usage: check_metrics_schema.py <snapshot.json>
+       [--allow-zero-replay] [--expect-net] [--expect-net-socket]
 """
 import json
 import sys
@@ -58,13 +67,64 @@ def check_net_counters(counters: dict) -> str:
             f"sessions={c['net.sessions_opened']}")
 
 
+def check_socket_counters(counters: dict, histograms: dict) -> str:
+    """Validates the event-loop net.async.* layer; returns a summary."""
+    required = [
+        "net.async.bytes_read", "net.async.bytes_written",
+        "net.async.connections_accepted", "net.async.connections_closed",
+        "net.async.accept_overflow", "net.async.request_overflow",
+        "net.async.timers_fired", "net.async.resync_bytes",
+        "net.async.write_overflow",
+    ]
+    for name in required:
+        if name not in counters:
+            fail(f"--expect-net-socket: counter '{name}' absent")
+    c = counters
+    if c["net.async.connections_accepted"] <= 0:
+        fail("--expect-net-socket: no connections accepted — the event loop "
+             "never served a socket")
+    if c["net.async.bytes_read"] <= 0:
+        fail("--expect-net-socket: 'net.async.bytes_read' is zero")
+    # Loopback quiescence: every written byte was read back before teardown.
+    if c["net.async.bytes_read"] != c["net.async.bytes_written"]:
+        fail(f"--expect-net-socket: byte conservation broken — read "
+             f"{c['net.async.bytes_read']} != written "
+             f"{c['net.async.bytes_written']}")
+    # Every accepted connection (and every client socket) is eventually
+    # closed and counted; a gap means a descriptor left the loop untracked.
+    if c["net.async.connections_closed"] < c["net.async.connections_accepted"]:
+        fail("--expect-net-socket: fewer connections closed than accepted")
+    # The CI bench always runs its starved-queue overload phase, so a
+    # snapshot without request-queue overflow means the typed-backpressure
+    # path went unexercised.
+    if c["net.async.request_overflow"] <= 0:
+        fail("--expect-net-socket: 'net.async.request_overflow' is zero — "
+             "the overload/busy-NACK path went unexercised")
+    if c["net.async.timers_fired"] <= 0:
+        fail("--expect-net-socket: no timers fired — retry/TTL deadlines "
+             "cannot have been armed")
+    lat = histograms.get("net.async.session_latency_ms")
+    if lat is None:
+        fail("--expect-net-socket: histogram 'net.async.session_latency_ms' absent")
+    if lat["total"] != c.get("net.sessions_opened", -1):
+        fail(f"--expect-net-socket: latency histogram holds {lat['total']} "
+             f"sessions but {c.get('net.sessions_opened')} were opened")
+    return (f"socket: connections={c['net.async.connections_accepted']} "
+            f"bytes={c['net.async.bytes_read']} "
+            f"request_overflow={c['net.async.request_overflow']} "
+            f"latency_sessions={lat['total']}")
+
+
 def main() -> None:
     if len(sys.argv) < 2:
         fail("usage: check_metrics_schema.py <snapshot.json>"
              " [--allow-zero-replay] [--expect-net]")
     path = sys.argv[1]
     allow_zero_replay = "--allow-zero-replay" in sys.argv[2:]
-    expect_net = "--expect-net" in sys.argv[2:]
+    expect_net_socket = "--expect-net-socket" in sys.argv[2:]
+    # The socket job checks every lockstep net.* relation first, then the
+    # event-loop layer on top.
+    expect_net = "--expect-net" in sys.argv[2:] or expect_net_socket
     # The service bench replies to retransmitted submits from its result
     # cache, so a clean service snapshot legitimately has zero replays.
     allow_zero_replay = allow_zero_replay or expect_net
@@ -96,11 +156,22 @@ def main() -> None:
             fail(f"histogram '{name}': bounds must be ascending")
         if sum(h["counts"]) != h["total"]:
             fail(f"histogram '{name}': counts sum to {sum(h['counts'])}, total says {h['total']}")
+    live_spans = 0
     for name, s in snap["spans"].items():
-        if "calls" not in s or not isinstance(s["calls"], int) or s["calls"] <= 0:
-            fail(f"span '{name}' must report a positive integer call count")
+        # A span registered before a mid-run MetricsRegistry::reset() (the
+        # socket bench resets between its oracle and event-loop phases)
+        # legitimately reports zero calls — but then it must also report
+        # zero time, and at least one span in the snapshot must be live.
+        if "calls" not in s or not isinstance(s["calls"], int) or s["calls"] < 0:
+            fail(f"span '{name}' must report a non-negative integer call count")
         if "seconds" in s and (not isinstance(s["seconds"], (int, float)) or s["seconds"] < 0):
             fail(f"span '{name}' seconds must be non-negative")
+        if s["calls"] > 0:
+            live_spans += 1
+        elif s.get("seconds", 0) != 0:
+            fail(f"span '{name}' reports zero calls but nonzero seconds")
+    if snap["spans"] and live_spans == 0:
+        fail("every span reports zero calls — instrumentation never ran")
 
     # Protocol accounting the bugfixes restored (ISSUE 3): selection cost and
     # replay rejections must be visible, not silently zero.
@@ -118,6 +189,9 @@ def main() -> None:
     net_summary = ""
     if expect_net:
         net_summary = "; " + check_net_counters(snap["counters"])
+    if expect_net_socket:
+        net_summary += "; " + check_socket_counters(snap["counters"],
+                                                   snap["histograms"])
 
     print(f"metrics schema: OK ({path}: {len(snap['counters'])} counters, "
           f"{len(snap['spans'])} spans, selection.candidates_tried={tried}, "

@@ -30,6 +30,13 @@
 #   service   bench_service_load over a faulty wire (exit code is the
 #             zero-drift audit), net.* counter schema check (--expect-net),
 #             and tests/test_service under TSan
+#   service-socket
+#             bench_service_load --transport socket: the epoll event-loop
+#             engine over 1000 concurrent localhost connections, reconciled
+#             bit-for-bit against the lockstep oracle plus a starved-queue
+#             overload phase (exit code is the audit); net.async.* schema
+#             check (--expect-net-socket), lockstep-vs-socket timing gate,
+#             and tests/test_async_service under TSan
 #   asan      ASan+UBSan RelWithDebInfo, full test suite
 #   tsan      TSan RelWithDebInfo, parallel-layer tests
 #             (tests/test_parallel.cpp hammers the pool with 1/2/8-lane
@@ -114,6 +121,27 @@ service_job() {
     tsan_configure &&
     cmake --build "${prefix}-tsan" -j "${jobs}" --target test_service &&
     "${prefix}-tsan/tests/test_service"
+}
+
+# Event-loop socket service end-to-end: the Release socket bench at the
+# 1000-connection acceptance floor (its exit code IS the oracle
+# reconciliation + zero-drift + overload audit), the net.async.* schema
+# check on its snapshot, the lockstep-vs-socket timing gate, and the async
+# engine suite under TSan (epoll readiness + timer wheel + stream decoder).
+service_socket_job() {
+  "${prefix}/bench/bench_service_load" --transport socket --devices 1000 \
+    --metrics-out "${logdir}/service_socket_metrics.json" &&
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/check_metrics_schema.py \
+        "${logdir}/service_socket_metrics.json" --expect-net-socket &&
+        python3 tools/check_bench_regression.py \
+          bench_out/service_socket_timing.json
+    else
+      echo "python3 absent; schema check skipped (snapshot at ${logdir}/service_socket_metrics.json)"
+    fi &&
+    tsan_configure &&
+    cmake --build "${prefix}-tsan" -j "${jobs}" --target test_async_service &&
+    "${prefix}-tsan/tests/test_async_service"
 }
 
 # Scan-throughput A/B: scalar vs batched evaluation core on the acceptance
@@ -215,6 +243,7 @@ run_job bench bench_job
 run_job store store_job
 run_job metrics metrics_job
 run_job service service_job
+run_job service-socket service_socket_job
 run_job asan asan_job
 run_job tsan tsan_job
 run_job tidy ./tools/tidy.sh "${prefix}-tidy"

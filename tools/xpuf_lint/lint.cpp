@@ -29,6 +29,10 @@ const std::vector<RuleInfo> kRules = {
     {"raw-timing",
      "raw std::chrono::steady_clock outside common/timer.hpp / common/trace.cpp; time "
      "through Timer/TraceSpan so wall-clock stays out of measurement paths"},
+    {"raw-syscall",
+     "raw POSIX socket/epoll syscall or errno branch outside the syscall wrapper TU "
+     "(src/net/async/syscall.cpp); go through the net::async::sys_* wrappers so "
+     "EINTR/EAGAIN folding and byte accounting stay in one place"},
     {"narrowing",
      "double literal narrowed to float, or C-style arithmetic cast; use an f suffix / "
      "static_cast"},
@@ -308,6 +312,33 @@ std::vector<Violation> lint_source(const std::string& rel_path, const std::strin
       if (std::regex_search(code_lines[i], steady))
         report("raw-timing", i,
                "raw steady_clock read; use xpuf::Timer or XPUF_TRACE_SPAN instead");
+  }
+
+  // raw-syscall: every raw socket/epoll/fd syscall and every errno branch is
+  // confined to the wrapper TU (net/async/syscall.cpp), which folds
+  // EINTR/EAGAIN/partial transfers into IoStatus and owns the byte
+  // conservation counters. A raw call site anywhere else re-opens the errno
+  // branch matrix the wrappers closed. Three pattern tiers: errno itself,
+  // ::-qualified calls of any wrapped syscall, and the unqualified names
+  // distinctive enough to never collide with project identifiers.
+  if (rel_path != "src/net/async/syscall.cpp") {
+    static const std::vector<PatternRule> pats = {
+        {"raw-syscall", std::regex(R"(\berrno\b)"),
+         "errno inspection outside the syscall wrapper TU; consume the IoStatus a "
+         "net::async::sys_* wrapper returns instead"},
+        {"raw-syscall",
+         std::regex(
+             R"((^|[^\w])::\s*(read|write|close|accept4?|recv|send|connect|bind|listen|socket|socketpair|fcntl|setsockopt|getsockopt|getsockname|shutdown|unlink|epoll_create1?|epoll_ctl|epoll_wait)\s*\()"),
+         "raw ::syscall outside the wrapper TU; use the net::async::sys_* wrappers"},
+        {"raw-syscall",
+         std::regex(
+             R"((^|[^\w:.])(accept4|socketpair|setsockopt|getsockname|epoll_create1?|epoll_ctl|epoll_wait)\s*\()"),
+         "raw socket/epoll syscall outside the wrapper TU; use the net::async::sys_* "
+         "wrappers"},
+    };
+    for (std::size_t i = 0; i < code_lines.size(); ++i)
+      for (const PatternRule& pr : pats)
+        if (std::regex_search(code_lines[i], pr.pattern)) report(pr.rule, i, pr.message);
   }
 
   // narrowing.
