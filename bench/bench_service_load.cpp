@@ -26,6 +26,11 @@
 //      into retryable busy NACKs absorbed by client backoff: zero failed
 //      sessions, nonzero net.async.request_overflow, never a silent drop.
 //
+// Both transports issue through the database's per-device stable-challenge
+// pool by default (--pool-target N, 0 = live screening); the zero-drift
+// audit additionally reconciles db.issue_requests against the per-handler
+// batches_issued ledgers and requires at least one pool hit when enabled.
+//
 // Artifacts: bench_out/service_load_timing.json (pipe) or
 // bench_out/service_socket_timing.json (socket; extra fields
 // lockstep_seconds/socket_seconds/overload_seconds/p50_ms/p99_ms) and, with
@@ -100,6 +105,13 @@ int main(int argc, char** argv) {
   puf::DatabaseConfig db_config;
   db_config.n_pufs = n_pufs;
   db_config.policy.challenge_count = socket_mode ? 8 : 16;
+  // Issuance pooling (--pool-target 0 restores live screening). Pooled
+  // batches are a pure per-device drain, so the lockstep oracle and the
+  // socket engine still reconcile bit-for-bit; the audit below pins the
+  // pooled path's accounting either way.
+  const auto pool_target = static_cast<std::size_t>(
+      bench.cli().get_int("pool-target", 4 * db_config.policy.challenge_count));
+  db_config.pool.target = pool_target;
 
   // One fab lot for the whole fleet; small chips keep enrollment and
   // challenge selection minutes-scale at the full device count.
@@ -197,6 +209,18 @@ int main(int argc, char** argv) {
     expect("net.frames_reordered", report.faults.reordered);
     expect("net.frames_truncated", report.faults.truncated);
     expect("net.frames_bitflipped", report.faults.bitflipped);
+    expect("db.issue_requests", report.batches_issued);
+    std::printf("issuance: batches=%llu pool_hits=%llu pool_misses=%llu "
+                "refills=%llu\n",
+                static_cast<unsigned long long>(report.batches_issued),
+                static_cast<unsigned long long>(
+                    reg.counter("auth.pool_hits").total()),
+                static_cast<unsigned long long>(
+                    reg.counter("auth.pool_misses").total()),
+                static_cast<unsigned long long>(
+                    reg.counter("auth.pool_refills").total()));
+    if (pool_target > 0 && reg.counter("auth.pool_hits").total() == 0)
+      drift.push_back("pooling enabled but every issue missed the pool");
     if (fault_rate > 0.0 && report.faults.faults() * 100 < report.faults.sent)
       drift.push_back("injected fault fraction fell below the 1% floor");
   } else {
@@ -318,6 +342,18 @@ int main(int argc, char** argv) {
            report.connections_accepted + devices);
     expect("net.async.resync_bytes", 0);    // TCP never corrupts localhost
     expect("net.async.write_overflow", 0);  // steady state never backlogs
+    expect("db.issue_requests", report.batches_issued);
+    std::printf("issuance: batches=%llu pool_hits=%llu pool_misses=%llu "
+                "refills=%llu\n",
+                static_cast<unsigned long long>(report.batches_issued),
+                static_cast<unsigned long long>(
+                    reg.counter("auth.pool_hits").total()),
+                static_cast<unsigned long long>(
+                    reg.counter("auth.pool_misses").total()),
+                static_cast<unsigned long long>(
+                    reg.counter("auth.pool_refills").total()));
+    if (pool_target > 0 && reg.counter("auth.pool_hits").total() == 0)
+      drift.push_back("pooling enabled but every issue missed the pool");
     if (report.bytes_read != report.bytes_written)
       drift.push_back("byte conservation failed: read " +
                       std::to_string(report.bytes_read) + " != written " +

@@ -643,6 +643,7 @@ AsyncServiceReport AsyncServiceEngine::finalize(bool all_finished) {
       report.sessions_expired += ledger.sessions_expired;
       report.enroll_activated += ledger.enroll_activated;
       report.revocations += ledger.revocations;
+      report.batches_issued += ledger.batches_issued;
     }
   report.connections_accepted = acceptor_ ? acceptor_->accepted() : 0;
   report.accept_overflow = acceptor_ ? acceptor_->overflowed() : 0;

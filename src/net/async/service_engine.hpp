@@ -108,6 +108,9 @@ struct AsyncServiceReport {
   std::uint64_t sessions_expired = 0;
   std::uint64_t enroll_activated = 0;
   std::uint64_t revocations = 0;
+  /// Challenge batches issued, summed from the per-handler ledgers; must
+  /// equal the global db.issue_requests counter (pooled or live issuance).
+  std::uint64_t batches_issued = 0;
   std::uint64_t idle_conns_closed = 0;
 
   /// Byte-conservation audit: syscall-layer deltas over the run; equal at

@@ -177,10 +177,13 @@ void ServerSessionHandler::open_session(const Frame& frame, std::uint64_t now,
     return;
   }
 
-  // Challenge issuance draws from a (device, session)-keyed stream so the
-  // batch is a pure function of the session, not of scheduling — the
-  // property that lets the lockstep and event-loop engines issue identical
-  // batches for the same (device, session) pair.
+  // Challenge issuance draws from a (device, session)-keyed stream so a
+  // live-screened batch is a pure function of the session, not of
+  // scheduling. With an issuance pool enabled the batch is instead a pure
+  // function of (device, per-device issuance ordinal): the pool drains in
+  // seed-deterministic order and the handler serves one device's frames
+  // serially, so both properties make the lockstep and event-loop engines
+  // issue identical batches for the same (device, session) pair.
   Rng issue_rng = issue_family_->stream(issue_stream_key(device_id_, sid));
   puf::ChallengeBatch batch;
   try {
@@ -189,6 +192,7 @@ void ServerSessionHandler::open_session(const Frame& frame, std::uint64_t now,
     terminal_nack(sink, sid, NackReason::kSelectionExhausted);
     return;
   }
+  ledger_.batches_issued += 1;
   session_.state = ServerSession::State::kChallengeSent;
   session_.session_id = sid;
   session_.opened_at = now;

@@ -78,6 +78,10 @@ struct ServerLedger {
   std::uint64_t revocations = 0;
   std::uint64_t frames_ignored = 0;
   std::uint64_t replies_sent = 0;
+  /// Challenge batches issued (db.issue calls that returned a batch). Engines
+  /// reconcile the sum against the global db.issue_requests counter so the
+  /// pooled issuance path stays drift-free under either transport.
+  std::uint64_t batches_issued = 0;
 };
 
 /// Where a handler's replies go. The engines own different transports, so

@@ -294,6 +294,7 @@ ServiceReport ServiceEngine::finalize(std::uint32_t rounds, bool all_finished,
     const auto chip_id = static_cast<std::size_t>(device_id);
     if (shard.db.knows(chip_id))
       ledger_entries += shard.db.issued_count(chip_id);
+    report.batches_issued += conn.handler.ledger().batches_issued;
   }
   report.fingerprint = h;
   report.outcome_fingerprint = outcome_h;

@@ -84,6 +84,9 @@ struct ServiceReport {
   std::uint64_t nacks_sent = 0;
   std::uint64_t enroll_activated = 0;
   std::uint64_t revocations = 0;
+  /// Challenge batches issued, summed from the per-handler ledgers; must
+  /// equal the global db.issue_requests counter (pooled or live issuance).
+  std::uint64_t batches_issued = 0;
 
   /// Accounting-invariant breaches, empty on a clean run.
   std::vector<std::string> violations;

@@ -40,6 +40,9 @@ ChallengeBatch AuthenticationServer::issue_random(Rng& rng) const {
   batch.expected.reserve(policy_.challenge_count);
   for (std::size_t i = 0; i < policy_.challenge_count; ++i) {
     Challenge c = random_challenge(model_.stages(), rng);
+    // The unfiltered baseline is deliberately the historical per-challenge
+    // walk: each prediction interleaves with a shared-RNG challenge draw, so
+    // there is no block to batch.  xpuf-lint: allow(scalar-eval)
     batch.expected.push_back(model_.predict_xor(c, n_pufs_));
     batch.challenges.push_back(std::move(c));
   }
@@ -48,8 +51,9 @@ ChallengeBatch AuthenticationServer::issue_random(Rng& rng) const {
   return batch;
 }
 
-AuthenticationOutcome AuthenticationServer::verify(const ChallengeBatch& batch,
-                                                   const std::vector<bool>& responses) const {
+AuthenticationOutcome apply_auth_policy(const ChallengeBatch& batch,
+                                        const std::vector<bool>& responses,
+                                        const AuthenticationPolicy& policy) {
   XPUF_REQUIRE(responses.size() == batch.challenges.size(),
                "response count does not match issued challenge count");
   AuthenticationOutcome out;
@@ -57,7 +61,7 @@ AuthenticationOutcome AuthenticationServer::verify(const ChallengeBatch& batch,
   out.candidates_tried = batch.candidates_tried;
   for (std::size_t i = 0; i < responses.size(); ++i)
     if (responses[i] != batch.expected[i]) ++out.mismatches;
-  out.approved = out.mismatches <= policy_.max_hamming_distance;
+  out.approved = out.mismatches <= policy.max_hamming_distance;
   static Counter& verifications = MetricsRegistry::global().counter("auth.verifications");
   static Counter& mismatches = MetricsRegistry::global().counter("auth.mismatches");
   static Counter& approved = MetricsRegistry::global().counter("auth.approved");
@@ -66,6 +70,11 @@ AuthenticationOutcome AuthenticationServer::verify(const ChallengeBatch& batch,
   mismatches.add(out.mismatches);
   (out.approved ? approved : denied).add(1);
   return out;
+}
+
+AuthenticationOutcome AuthenticationServer::verify(const ChallengeBatch& batch,
+                                                   const std::vector<bool>& responses) const {
+  return apply_auth_policy(batch, responses, policy_);
 }
 
 AuthenticationOutcome AuthenticationServer::authenticate(const sim::XorPufChip& chip,

@@ -50,6 +50,15 @@ struct ChallengeBatch {
   std::size_t replay_rejected = 0;
 };
 
+/// Applies the approval policy to a batch/response pair — the single
+/// verification kernel behind AuthenticationServer::verify and
+/// ServerDatabase::verify. Pure policy: no model access, no copies; bumps
+/// the auth.verifications / auth.mismatches / auth.approved / auth.denied
+/// counters.
+AuthenticationOutcome apply_auth_policy(const ChallengeBatch& batch,
+                                        const std::vector<bool>& responses,
+                                        const AuthenticationPolicy& policy);
+
 class AuthenticationServer {
  public:
   /// `n_pufs` = XOR width in use (the paper recommends >= 10).

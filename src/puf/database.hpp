@@ -41,17 +41,39 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "puf/authentication.hpp"
+#include "puf/screening.hpp"
 #include "puf/store/store.hpp"
 
 namespace xpuf::puf {
 
+/// Per-device pre-screened stable-challenge pools — the issuance hot path.
+/// With pooling on, registration (and a low-water refill) screens `target`
+/// predicted-stable challenges per device through the batched screener and
+/// persists them (backed mode: a durable POOL record; in-memory mode: a
+/// registry entry), so a steady-state issue() drains O(challenge_count)
+/// entries instead of rejection-sampling ~challenge_count / 0.800^n live
+/// candidates. Pool candidates come from a per-device StreamFamily keyed by
+/// `seed ^ f(device_id)` with a persisted resume cursor, so the pooled
+/// challenge sequence is a pure function of (seed, device, drain history) —
+/// crash + replay re-drains the same prefix and the replay ledger screens
+/// out what was already issued.
+struct PoolPolicy {
+  std::size_t target = 0;     ///< pool entries per device; 0 disables pooling
+  std::size_t low_water = 8;  ///< refill when undrained entries drop below this
+  std::uint64_t seed = 0x706f6f6c73656564ull;  ///< pool stream family base
+};
+
 struct DatabaseConfig {
   std::size_t n_pufs = 10;  ///< XOR width used for every device
   AuthenticationPolicy policy;
+  ScreeningOptions screening;  ///< candidate screening mode (batched default)
+  PoolPolicy pool;             ///< issuance pools (disabled by default)
 };
 
 /// Result of a database-level authentication request.
@@ -105,11 +127,26 @@ class ServerDatabase {
 
   /// Issues a fresh stable-challenge batch for a device, excluding every
   /// challenge the server has ever sent to it (replay protection). The
-  /// issued challenges are recorded immediately.
+  /// issued challenges are recorded immediately. With pooling enabled the
+  /// batch drains the device's pre-screened pool (auth.pool_hits) and only
+  /// falls back to live screening when the pool cannot be refilled
+  /// (auth.pool_misses); `rng` is consumed only on that fallback, so the
+  /// pooled sequence is reproducible from the pool seed alone.
   ChallengeBatch issue(std::size_t chip_id, Rng& rng);
 
-  /// Verifies responses against the last batch semantics (stateless check —
-  /// the caller passes the batch back; the database just applies policy).
+  /// The live-screening issuance path, pool-bypassing by construction:
+  /// screens candidates from a stream forked off `rng` (exactly one
+  /// fork_base() draw) against the device's model. This is issue()'s
+  /// fallback and the reference side of the pooled-vs-live bench A/B.
+  ChallengeBatch issue_live(std::size_t chip_id, Rng& rng);
+
+  /// Undrained pre-screened challenges currently pooled for a device
+  /// (0 when it has no pool).
+  std::size_t pool_remaining(std::size_t chip_id) const;
+
+  /// Verifies responses against the batch the caller passes back — pure
+  /// policy over the batch's expected bits (apply_auth_policy); no model is
+  /// resolved, so verification never touches the cache or the log.
   AuthenticationOutcome verify(std::size_t chip_id, const ChallengeBatch& batch,
                                const std::vector<bool>& responses) const;
 
@@ -138,8 +175,48 @@ class ServerDatabase {
   static ServerDatabase load(const std::string& directory, DatabaseConfig config);
 
  private:
-  const ServerModel& resolve_model(std::size_t chip_id,
-                                   std::shared_ptr<const ServerModel>& held) const;
+  /// In-memory pool state (backed mode keeps pools in the store instead).
+  /// Dropped by save()/load(): pools are a rebuildable cache, not registry
+  /// state — the first post-load issue recreates them.
+  struct MemPool {
+    store::PoolPayload pool;
+    std::uint32_t head = 0;
+  };
+
+  /// Mode-independent model access for screening: zero-copy mapped view,
+  /// cached model, or borrowed registry reference.
+  ModelView resolve_view(std::size_t chip_id) const;
+  std::set<std::string>& ledger_ref(std::size_t chip_id);
+  std::uint32_t device_stages(std::size_t chip_id) const;
+  /// The device's pool candidate stream family — pure function of
+  /// (config_.pool.seed, chip_id).
+  StreamFamily device_family(std::size_t chip_id) const;
+
+  // Pool state accessors spanning both serving modes. All are safe
+  // concurrently for distinct devices (store pool mutex / mem_pool_mu_).
+  bool pool_peek(std::size_t chip_id, std::uint32_t& head, std::uint32_t& count,
+                 std::uint64_t& cursor, std::uint32_t& epoch) const;
+  void pool_read(std::size_t chip_id, std::uint32_t first, std::uint32_t n,
+                 std::vector<std::string>& keys,
+                 std::vector<std::uint8_t>& expected) const;
+  void pool_set_head(std::size_t chip_id, std::uint32_t head);
+  void pool_write(std::size_t chip_id, store::PoolPayload pool);
+  /// Fleet-wide undrained pool entries (behind the auth.pool_size gauge).
+  std::uint64_t pool_entries_total() const;
+
+  /// (Re)builds the device's pool: carries over undrained entries, screens
+  /// fresh candidates from the persisted cursor, persists the result with
+  /// head = 0 and a bumped epoch. Returns candidates tried (the caller adds
+  /// it to the batch's accounting).
+  std::size_t refill_pool(std::size_t chip_id, const ModelView& view,
+                          const std::set<std::string>& ledger);
+  /// Completes `batch` to challenge_count via live screening (the shared
+  /// kernel of issue_live and the pool-bypass fallback).
+  void fill_live(const ModelView& view, std::set<std::string>& ledger,
+                 ChallengeBatch& batch, std::vector<std::string>& fresh, Rng& rng);
+  /// Common issue() epilogue: replay/issued metrics + durable ledger append.
+  void finish_issue(std::size_t chip_id, std::uint32_t stages, ChallengeBatch& batch,
+                    const std::vector<std::string>& fresh);
 
   DatabaseConfig config_;
   std::map<std::size_t, ServerModel> models_;
@@ -149,6 +226,13 @@ class ServerDatabase {
   /// (in-memory mode); atomic because concurrent issue() calls for distinct
   /// devices both retire into it.
   std::atomic<std::uint64_t> ledger_total_{0};
+  std::map<std::size_t, MemPool> mem_pools_;
+  /// Fleet-wide undrained entries over mem_pools_, maintained incrementally
+  /// (same O(1) gauge-refresh contract as the store's counter). Guarded by
+  /// mem_pool_mu_.
+  std::uint64_t mem_pool_undrained_ = 0;
+  /// Guards mem_pools_ (lookup and lazy insertion under concurrent issue).
+  std::unique_ptr<std::mutex> mem_pool_mu_ = std::make_unique<std::mutex>();
   std::unique_ptr<store::EnrollmentStore> store_;
 };
 

@@ -1,0 +1,99 @@
+// Batched stable-challenge screening — the authentication hot-path core.
+//
+// The paper's issuance is rejection sampling: draw random challenges, keep
+// those predicted stable on ALL n PUFs (acceptance ~0.800^n, ~10.7% at
+// n = 10). ChallengeScreener runs that walk either serially (the reference)
+// or in blocks through sim::FeatureBlock + the ChipLinearView tile kernels
+// (one Phi build + one register-blocked weight product per block), with a
+// determinism contract that makes the two modes — and any block size or
+// thread count — bit-invisible:
+//
+//   candidate j of a screening walk is a pure function of (family, j): its
+//   challenge bits come from StreamFamily::stream(first_index + j) alone.
+//
+// So the issued-challenge sequence, the expected-response bits, and the
+// exact candidates_tried count are identical across serial/batched modes,
+// block sizes, and thread counts; and a screening walk consumes NOTHING
+// from the caller's RNG beyond the one fork_base() draw that seeded the
+// family. The walk is resumable: Outcome::next_index is the index the next
+// refill continues from (the pool cursor persisted in POOL records).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "puf/model_view.hpp"
+#include "sim/linear.hpp"
+
+namespace xpuf::puf {
+
+struct ScreeningOptions {
+  /// Max candidates evaluated per block in batched mode. Any value >= 1
+  /// yields the identical issued sequence; it only trades GEMM amortization
+  /// against wasted tail evaluations past the quota.
+  std::size_t block = 256;
+  /// false = the serial per-candidate reference walk (bench A/B + tests).
+  bool batched = true;
+};
+
+class ChallengeScreener {
+ public:
+  /// Outcome of one screening walk.
+  struct Outcome {
+    std::size_t tried = 0;     ///< candidates examined (== stream indices consumed)
+    std::size_t stable = 0;    ///< candidates predicted stable on all n PUFs
+    std::size_t accepted = 0;  ///< stable candidates the sink counted toward the quota
+    bool filled = false;       ///< quota reached within max_attempts
+    std::uint64_t next_index = 0;  ///< resume cursor: first_index + tried
+  };
+
+  /// Receives each stable candidate in index order with its expected XOR
+  /// bit; returns true to count it toward the quota (false = caller-side
+  /// rejection, e.g. the replay ledger — the walk continues).
+  using Sink = std::function<bool(Challenge&&, bool)>;
+
+  /// Screens the first `n_pufs` PUFs of `view`; the view must outlive the
+  /// screener.
+  ChallengeScreener(const ModelView& view, std::size_t n_pufs,
+                    ScreeningOptions options = {});
+
+  /// Walks candidates first_index, first_index + 1, ... until `count` were
+  /// accepted by the sink or `tried` reached max_attempts.
+  Outcome screen(const StreamFamily& family, std::uint64_t first_index,
+                 std::size_t count, std::size_t max_attempts, const Sink& sink);
+
+  /// The candidate generator both modes share: stage bits drawn 64 per
+  /// next_u64() word (LSB-first). Faster than per-bit bernoulli and equally
+  /// uniform; the per-candidate stream makes the draw count per candidate
+  /// irrelevant to every other candidate.
+  static void candidate_into(Challenge& out, std::size_t stages, Rng& rng);
+
+  const ScreeningOptions& options() const { return options_; }
+
+ private:
+  Outcome screen_serial(const StreamFamily& family, std::uint64_t first_index,
+                        std::size_t count, std::size_t max_attempts, const Sink& sink);
+  Outcome screen_batched(const StreamFamily& family, std::uint64_t first_index,
+                         std::size_t count, std::size_t max_attempts, const Sink& sink);
+
+  const ModelView* view_;
+  std::size_t n_pufs_;
+  ScreeningOptions options_;
+  std::vector<ThresholdPair> thresholds_;  ///< beta-adjusted, derived once
+  sim::ChipLinearView chip_view_;          ///< stacked weights for the tile kernels
+  // Reused batch storage: challenge rows, their Phi block, and the raw
+  // prediction tile (block rows x n_pufs) — allocated on the first block,
+  // refilled in place after.
+  std::vector<Challenge> candidates_;
+  sim::FeatureBlock block_;
+  std::vector<double> raw_;
+};
+
+/// Selection-cost accounting shared by every screening call site (the
+/// selectors, database issuance, and pool refills): bumps
+/// selection.candidates_tried / selection.accepted and observes the
+/// per-walk candidate count in the selection.batch_candidates histogram.
+void record_screening(std::size_t tried, std::size_t accepted);
+
+}  // namespace xpuf::puf

@@ -3,29 +3,16 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "puf/screening.hpp"
 
 namespace xpuf::puf {
 
 namespace {
 
-// Candidates per evaluation block in the model-based selector: enough rows
-// to amortize the GEMM, small enough that the tail block wasted past the
-// quota stays cheap. Fixed so the candidate stream is reproducible.
-constexpr std::size_t kSelectBlock = 256;
-
-/// Selection-cost accounting shared by both selector flavors. The
-/// per-batch histogram uses fixed decade bounds so batch-cost shapes are
-/// comparable across runs and XOR widths (the paper's yield collapses
-/// roughly geometrically in n).
+/// Selection-cost accounting shared by both selector flavors — delegates to
+/// the screening module, which owns the selection.* counters.
 void record_selection(const SelectionResult& result) {
-  auto& registry = MetricsRegistry::global();
-  static Counter& tried = registry.counter("selection.candidates_tried");
-  static Counter& accepted = registry.counter("selection.accepted");
-  static Histogram& per_batch = registry.histogram(
-      "selection.batch_candidates", {10.0, 100.0, 1'000.0, 10'000.0, 100'000.0, 1'000'000.0});
-  tried.add(result.candidates_tried);
-  accepted.add(result.challenges.size());
-  per_batch.observe(static_cast<double>(result.candidates_tried));
+  record_screening(result.candidates_tried, result.challenges.size());
 }
 
 /// The per-candidate stable-check/XOR-accumulate measurement shared by
@@ -57,8 +44,9 @@ MeasuredCandidate measure_candidate(const sim::XorPufChip& chip, const Challenge
 
 }  // namespace
 
-ModelBasedSelector::ModelBasedSelector(const ServerModel& model, std::size_t n_pufs)
-    : model_(&model), n_pufs_(n_pufs) {
+ModelBasedSelector::ModelBasedSelector(const ServerModel& model, std::size_t n_pufs,
+                                       ScreeningOptions options)
+    : model_(&model), n_pufs_(n_pufs), options_(options) {
   XPUF_REQUIRE(n_pufs >= 1 && n_pufs <= model.puf_count(),
                "selector n_pufs out of range");
 }
@@ -70,38 +58,21 @@ SelectionResult ModelBasedSelector::select(std::size_t count, Rng& rng,
                                            std::size_t max_attempts) const {
   XPUF_TRACE_SPAN("selection.select");
   SelectionResult result;
-  const std::size_t stages = model_->stages();
-  // Thresholds are pure functions of the model + betas; derive them once.
-  std::vector<ThresholdPair> thresholds;
-  thresholds.reserve(n_pufs_);
-  for (std::size_t p = 0; p < n_pufs_; ++p)
-    thresholds.push_back(model_->adjusted_thresholds(p));
-  // Candidates are generated in fixed blocks and evaluated for all n models
-  // with one GEMM per block, then accepted IN DRAW ORDER. The accounting
-  // contract is exactly the serial loop's: candidates_tried counts only
-  // candidates examined before the quota filled (a partially consumed tail
-  // block stops counting mid-block), and no block reaches past
-  // max_attempts. Only the RNG's end state may run ahead of the serial
-  // walk, by the unexamined remainder of the final block.
-  while (result.challenges.size() < count && result.candidates_tried < max_attempts) {
-    const std::size_t want =
-        std::min(kSelectBlock, max_attempts - result.candidates_tried);
-    FeatureBlock block(random_challenges(stages, want, rng));
-    const linalg::Matrix raw = model_->predict_raw_batch(block, n_pufs_);
-    for (std::size_t i = 0; i < block.size(); ++i) {
-      if (result.challenges.size() >= count) break;
-      ++result.candidates_tried;
-      bool stable = true;
-      for (std::size_t p = 0; p < n_pufs_ && stable; ++p)
-        stable = thresholds[p].classify(raw(i, p)) != StableClass::kUnstable;
-      if (!stable) continue;
-      bool bit = false;
-      for (std::size_t p = 0; p < n_pufs_; ++p) bit ^= raw(i, p) > 0.5;
-      result.expected_responses.push_back(bit);
-      result.challenges.push_back(block.challenge(i));
-    }
-  }
-  result.filled = result.challenges.size() >= count;
+  // The walk is keyed off ONE draw from the caller's stream: candidate j is
+  // a pure function of (family, j), so block size, batched-vs-serial mode,
+  // and thread count are all invisible in the issued sequence AND in the
+  // caller's RNG consumption (see puf/screening.hpp).
+  const StreamFamily family(rng.fork_base());
+  const ModelView view = ModelView::of(*model_);
+  ChallengeScreener screener(view, n_pufs_, options_);
+  const ChallengeScreener::Outcome outcome =
+      screener.screen(family, 0, count, max_attempts, [&](Challenge&& c, bool bit) {
+        result.challenges.push_back(std::move(c));
+        result.expected_responses.push_back(bit);
+        return true;
+      });
+  result.candidates_tried = outcome.tried;
+  result.filled = outcome.filled;
   record_selection(result);
   return result;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "puf/enrollment.hpp"
+#include "puf/screening.hpp"
 
 namespace xpuf::puf {
 
@@ -37,10 +38,14 @@ struct SelectionResult {
 class ModelBasedSelector {
  public:
   /// Uses the first `n_pufs` enrolled PUFs (the XOR width under test).
-  ModelBasedSelector(const ServerModel& model, std::size_t n_pufs);
+  /// `options` tunes the screening walk (block size, batched vs the serial
+  /// reference) without changing the issued sequence.
+  ModelBasedSelector(const ServerModel& model, std::size_t n_pufs,
+                     ScreeningOptions options = {});
 
   /// Draws random challenges until `count` stable ones are found or
-  /// `max_attempts` candidates were tried.
+  /// `max_attempts` candidates were tried. Consumes exactly one fork_base()
+  /// draw from `rng` regardless of the walk's length.
   SelectionResult select(std::size_t count, Rng& rng,
                          std::size_t max_attempts = 10'000'000) const;
 
@@ -50,6 +55,7 @@ class ModelBasedSelector {
  private:
   const ServerModel* model_;
   std::size_t n_pufs_;
+  ScreeningOptions options_;
 };
 
 class MeasurementBasedSelector {

@@ -10,7 +10,7 @@ namespace xpuf::puf::store {
 
 bool is_known_op(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(OpType::kRegister) &&
-         raw <= static_cast<std::uint8_t>(OpType::kIssue);
+         raw <= static_cast<std::uint8_t>(OpType::kPad);
 }
 
 const char* to_string(OpType op) {
@@ -18,6 +18,8 @@ const char* to_string(OpType op) {
     case OpType::kRegister: return "REGISTER";
     case OpType::kRevoke: return "REVOKE";
     case OpType::kIssue: return "ISSUE";
+    case OpType::kPool: return "POOL";
+    case OpType::kPad: return "PAD";
   }
   return "UNKNOWN";
 }
@@ -227,6 +229,133 @@ RecordStatus decode_ledger(const std::uint8_t* payload, std::uint32_t len,
     keys.push_back(std::move(key));
   }
   return RecordStatus::kOk;
+}
+
+// --- pool payload ------------------------------------------------------------
+
+namespace {
+
+/// Fixed byte footprint of a POOL payload prefix: u32 count + u32 stages +
+/// u32 epoch + u32 reserved + u64 cursor.
+constexpr std::uint32_t kPoolFixedBytes = 24;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_pool(const PoolPayload& pool) {
+  XPUF_REQUIRE(pool.stages > 0 && pool.stages <= kMaxStagesPerModel,
+               "encode_pool: stages out of range");
+  XPUF_REQUIRE(pool.expected.size() == pool.keys.size(),
+               "encode_pool: one expected bit per pool entry");
+  const std::uint64_t row = row_bytes_for(pool.stages);
+  const std::uint64_t bitmap = (pool.keys.size() + 7) / 8;
+  std::vector<std::uint8_t> out;
+  out.reserve(kPoolFixedBytes + bitmap + pool.keys.size() * row);
+  put_u32(out, static_cast<std::uint32_t>(pool.keys.size()));
+  put_u32(out, pool.stages);
+  put_u32(out, pool.epoch);
+  put_u32(out, 0);  // reserved
+  put_u64(out, pool.cursor);
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(bitmap), 0);
+  for (std::size_t i = 0; i < pool.expected.size(); ++i)
+    if (pool.expected[i] != 0) bits[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  out.insert(out.end(), bits.begin(), bits.end());
+  for (const std::string& key : pool.keys) {
+    XPUF_REQUIRE(key.size() == row, "encode_pool: key width != ceil(stages/8)");
+    out.insert(out.end(), key.begin(), key.end());
+  }
+  return out;
+}
+
+RecordStatus decode_pool(const std::uint8_t* payload, std::uint32_t len,
+                         PoolPayload& out) {
+  XPUF_REQUIRE(payload != nullptr || len == 0,
+               "decode_pool: null payload with nonzero length");
+  RecordReader reader(payload, len);
+  std::uint32_t count = 0;
+  std::uint32_t reserved = 0;
+  if (!reader.read_u32(count)) return RecordStatus::kBadPayload;
+  if (!reader.read_u32(out.stages)) return RecordStatus::kBadPayload;
+  if (!reader.read_u32(out.epoch)) return RecordStatus::kBadPayload;
+  if (!reader.read_u32(reserved)) return RecordStatus::kBadPayload;
+  if (reserved != 0) return RecordStatus::kBadPayload;
+  if (!reader.read_u64(out.cursor)) return RecordStatus::kBadPayload;
+  if (out.stages == 0 || out.stages > kMaxStagesPerModel) return RecordStatus::kBadPayload;
+  const std::uint64_t row = row_bytes_for(out.stages);
+  const std::uint64_t bitmap = (static_cast<std::uint64_t>(count) + 7) / 8;
+  if (static_cast<std::uint64_t>(len) != kPoolFixedBytes + bitmap + count * row)
+    return RecordStatus::kBadPayload;
+  std::string bits;
+  if (!reader.read_bytes(bitmap, bits)) return RecordStatus::kBadPayload;
+  out.expected.assign(count, 0);
+  for (std::uint32_t i = 0; i < count; ++i)
+    out.expected[i] =
+        static_cast<std::uint8_t>((static_cast<std::uint8_t>(bits[i / 8]) >> (i % 8)) & 1u);
+  out.keys.clear();
+  out.keys.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    if (!reader.read_bytes(row, key)) return RecordStatus::kBadPayload;
+    out.keys.push_back(std::move(key));
+  }
+  return RecordStatus::kOk;
+}
+
+// --- zero-copy model view ----------------------------------------------------
+
+bool model_view_from_payload(const std::uint8_t* payload, std::uint32_t len,
+                             std::uint64_t device_id,
+                             std::shared_ptr<const void> owner, ModelView& out) {
+  std::uint32_t puf_count = 0;
+  std::uint32_t stages = 0;
+  if (peek_model_shape(payload, len, puf_count, stages) != RecordStatus::kOk) return false;
+  if (len != model_payload_bytes(puf_count, stages)) return false;
+  // The f64 region starts right after the two u32 geometry fields. Serving
+  // weights in place requires it to sit on an 8-byte boundary — guaranteed
+  // for records written through append_alignment_pad, checked here so a
+  // store predating aligned compaction just falls back to the decode path.
+  const std::uint8_t* f64_begin = payload + 8;
+  if (reinterpret_cast<std::uintptr_t>(f64_begin) % alignof(double) != 0) return false;
+  // On-disk doubles are IEEE-754 little-endian bit patterns (put_f64), which
+  // on this target IS the in-memory representation, so pointing spans at the
+  // mapping is exact. The static_assert keeps a big-endian port honest.
+  static_assert(std::endian::native == std::endian::little,
+                "zero-copy model serving assumes little-endian doubles");
+  const double* d = reinterpret_cast<const double*>(f64_begin);
+  BetaFactors betas;
+  betas.beta0 = d[0];
+  betas.beta1 = d[1];
+  const std::size_t per_puf = 4 + static_cast<std::size_t>(stages) + 1;
+  std::vector<const double*> weights;
+  std::vector<ThresholdPair> thresholds;
+  weights.reserve(puf_count);
+  thresholds.reserve(puf_count);
+  for (std::uint32_t p = 0; p < puf_count; ++p) {
+    const double* block = d + 2 + static_cast<std::size_t>(p) * per_puf;
+    ThresholdPair thr;
+    thr.thr0 = block[0];
+    thr.thr1 = block[1];
+    // block[2] (r^2) and block[3] (fit time) are enrollment bookkeeping the
+    // hot path never reads.
+    thresholds.push_back(thr);
+    weights.push_back(block + 4);
+  }
+  out = ModelView::from_parts(device_id, stages, betas, std::move(weights),
+                              std::move(thresholds), std::move(owner));
+  return true;
+}
+
+// --- alignment pad -----------------------------------------------------------
+
+// Every (buffer, base offset) pair is legal — the pad length is pure mod-8
+// arithmetic on their sum.  xpuf-lint: allow(require-guard)
+void append_alignment_pad(std::vector<std::uint8_t>& out, std::uint64_t base_offset) {
+  const std::uint64_t offset = base_offset + out.size();
+  if (offset % 8 == 0) return;
+  // Pad record total = header (16) + payload (p) + crc (4); choose p in
+  // [0, 7] so the next record begins on an 8-byte boundary.
+  const std::uint64_t p = (8 - ((offset + kRecordHeaderBytes + kRecordTrailerBytes) % 8)) % 8;
+  const std::vector<std::uint8_t> payload(static_cast<std::size_t>(p), 0);
+  encode_record(out, OpType::kPad, 0, payload);
 }
 
 // --- shard manifest ----------------------------------------------------------

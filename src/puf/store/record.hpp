@@ -28,10 +28,12 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "puf/enrollment.hpp"
+#include "puf/model_view.hpp"
 
 namespace xpuf::puf::store {
 
@@ -54,7 +56,15 @@ enum class OpType : std::uint8_t {
   kRegister = 1,  ///< full ServerModel snapshot for a device
   kRevoke = 2,    ///< device removed; payload empty
   kIssue = 3,     ///< ledger append: packed challenges issued to the device
+  kPool = 4,      ///< pre-screened stable-challenge pool; latest epoch wins
+  kPad = 5,       ///< alignment filler (0-7 zero bytes) so the f64 region of
+                  ///< the next REGISTER payload lands 8-byte aligned for
+                  ///< zero-copy mmap serving; no device semantics
 };
+
+/// Largest legal kPad payload: a pad exists only to reach the next 8-byte
+/// boundary, so anything longer is corruption.
+inline constexpr std::uint32_t kMaxPadBytes = 7;
 
 bool is_known_op(std::uint8_t raw);
 const char* to_string(OpType op);
@@ -231,6 +241,46 @@ std::vector<std::uint8_t> encode_ledger(std::uint32_t stages,
                                         const std::vector<std::string>& keys);
 RecordStatus decode_ledger(const std::uint8_t* payload, std::uint32_t len,
                            std::uint32_t& stages, std::vector<std::string>& keys);
+
+/// Decoded POOL payload: the device's pre-screened stable-challenge pool.
+/// `keys` are packed challenges (pack_challenge format), `expected[i]` the
+/// predicted XOR bit of keys[i], `cursor` the candidate-stream index the
+/// next refill resumes screening from, `epoch` the pool generation — replay
+/// keeps only the record with the highest epoch per device.
+struct PoolPayload {
+  std::uint32_t stages = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t cursor = 0;
+  std::vector<std::string> keys;
+  std::vector<std::uint8_t> expected;  ///< one 0/1 byte per key
+};
+
+/// POOL payload: u32 count, u32 stages, u32 epoch, u32 reserved(0),
+/// u64 cursor, ceil(count / 8) expected-bit bytes (bit i of byte i/8 =
+/// expected response of entry i, LSB-first like the challenge packing),
+/// then count rows of ceil(stages / 8) packed challenge bytes.
+std::vector<std::uint8_t> encode_pool(const PoolPayload& pool);
+RecordStatus decode_pool(const std::uint8_t* payload, std::uint32_t len,
+                         PoolPayload& out);
+
+/// Builds a zero-copy ModelView straight over a REGISTER payload — the mmap
+/// serving path: the view's weight spans point into `payload` itself, no
+/// parse, no copy. Returns false (leaving `out` untouched) when the payload
+/// is malformed or its f64 region is not 8-byte aligned in memory; callers
+/// fall back to decode_model. `owner` (typically the shard mapping) keeps
+/// the bytes alive for the view's lifetime.
+bool model_view_from_payload(const std::uint8_t* payload, std::uint32_t len,
+                             std::uint64_t device_id,
+                             std::shared_ptr<const void> owner, ModelView& out);
+
+/// Appends one kPad record iff `base_offset + out.size()` — the file offset
+/// the next record would land at — is not 8-byte aligned, sized so the next
+/// record appended begins on an 8-byte boundary. A REGISTER record starting
+/// at an aligned offset has its f64 region (record offset 24) aligned too,
+/// which is what zero-copy serving from a page-aligned mapping requires.
+/// `base_offset` is the file offset `out` will be appended at (0 for a
+/// buffer that becomes a whole shard). No-op when already aligned.
+void append_alignment_pad(std::vector<std::uint8_t>& out, std::uint64_t base_offset = 0);
 
 // --- shard manifest ---------------------------------------------------------
 // Tiny fixed-size file at the store root recording the shard fan-out; its

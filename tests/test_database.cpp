@@ -23,7 +23,7 @@ class DatabaseTest : public ::testing::Test {
   DatabaseTest()
       : pop_(make_config()),
         rng_(808),
-        db_(DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}}) {
+        db_(DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}, .screening = {}, .pool = {}}) {
     EnrollmentConfig cfg;
     cfg.training_challenges = 2'000;
     cfg.trials = 2'000;
@@ -151,7 +151,7 @@ TEST_F(DatabaseTest, RevokeThenSaveDoesNotResurrectOnLoad) {
       << "save() writes the binary store layout";
   {
     ServerDatabase first = ServerDatabase::load(
-        dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}});
+        dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}, .screening = {}, .pool = {}});
     EXPECT_TRUE(first.knows(1));
     EXPECT_EQ(first.issued_count(1), 16u);
   }
@@ -160,7 +160,7 @@ TEST_F(DatabaseTest, RevokeThenSaveDoesNotResurrectOnLoad) {
   db_.save(dir);  // must reconcile, not accrete
 
   ServerDatabase loaded = ServerDatabase::load(
-      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}});
+      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}, .screening = {}, .pool = {}});
   EXPECT_EQ(loaded.device_count(), 1u);
   EXPECT_TRUE(loaded.knows(0));
   EXPECT_FALSE(loaded.knows(1)) << "revoked device resurrected from stale files";
@@ -203,7 +203,7 @@ TEST_F(DatabaseTest, SaveAndLoadPreservesModelsAndLedger) {
   db_.save(dir);
 
   ServerDatabase loaded = ServerDatabase::load(
-      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}});
+      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}, .screening = {}, .pool = {}});
   EXPECT_EQ(loaded.device_count(), 2u);
   EXPECT_EQ(loaded.issued_count(0), issued_before);
   EXPECT_EQ(loaded.issued_count(1), 0u);
@@ -240,7 +240,7 @@ TEST_F(DatabaseTest, LegacyCsvDirectoryMigratesToBinaryOnFirstSave) {
   }
 
   ServerDatabase loaded = ServerDatabase::load(
-      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}});
+      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}, .screening = {}, .pool = {}});
   EXPECT_EQ(loaded.device_count(), 2u);
   EXPECT_EQ(loaded.issued_count(0), rows.size());
   EXPECT_EQ(loaded.issued_count(1), 0u);
@@ -254,7 +254,7 @@ TEST_F(DatabaseTest, LegacyCsvDirectoryMigratesToBinaryOnFirstSave) {
   // Round trip through the binary format is bit-exact: model weights and the
   // packed form of every legacy ledger row survive.
   ServerDatabase migrated = ServerDatabase::load(
-      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}});
+      dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {.challenge_count = 16}, .screening = {}, .pool = {}});
   EXPECT_EQ(migrated.device_count(), 2u);
   for (std::size_t id : {std::size_t{0}, std::size_t{1}}) {
     const ServerModel& original = db_.model(id);
@@ -291,7 +291,7 @@ TEST_F(DatabaseTest, OrphanedLegacyLedgerIsAParseError) {
     ledger.write_row(std::vector<std::string>{std::string(db_.model(0).stages(), '1')});
   }
   EXPECT_THROW(ServerDatabase::load(
-                   dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {}}),
+                   dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {}, .screening = {}, .pool = {}}),
                ParseError);
   std::filesystem::remove_all(dir);
 }
@@ -311,7 +311,7 @@ TEST_F(DatabaseTest, CorruptLegacyLedgerRowIsAParseError) {
       ledger.write_row(std::vector<std::string>{bad});
     }
     EXPECT_THROW(ServerDatabase::load(
-                     dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {}}),
+                     dir, DatabaseConfig{.n_pufs = kNPufs, .policy = {}, .screening = {}, .pool = {}}),
                  ParseError)
         << "ledger row '" << bad << "' accepted";
   }
@@ -325,7 +325,8 @@ TEST_F(DatabaseTest, BackedDatabaseAuthenticatesAndSurvivesReopen) {
                     ("xpuf_db_backed_" + std::to_string(::getpid())))
                        .string();
   std::filesystem::remove_all(dir);
-  const DatabaseConfig cfg{.n_pufs = kNPufs, .policy = {.challenge_count = 16}};
+  const DatabaseConfig cfg{
+      .n_pufs = kNPufs, .policy = {.challenge_count = 16}, .screening = {}, .pool = {}};
   store::StoreOptions opts;
   opts.n_shards = 2;
   opts.cache_capacity = 1;  // harsher than any deployment would pick

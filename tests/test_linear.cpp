@@ -272,15 +272,19 @@ TEST(ModelSelection, BlockSelectMatchesSerialReference) {
     const puf::SelectionResult batched = selector.select(64, batch_rng, max_attempts);
 
     // Serial reference: one candidate at a time, scalar predictions. The
-    // candidate stream is identical because random_challenges draws
-    // sequentially from the same generator.
+    // candidate stream is identical because candidate i is a pure function
+    // of (family, i) — the selector consumes exactly one fork_base() draw
+    // and walks the same index-keyed streams this loop does.
     Rng serial_rng(2024);
+    const StreamFamily family(serial_rng.fork_base());
     puf::SelectionResult serial;
     std::vector<puf::ThresholdPair> thresholds;
     for (std::size_t p = 0; p < n_pufs; ++p)
       thresholds.push_back(model.adjusted_thresholds(p));
     while (serial.challenges.size() < 64 && serial.candidates_tried < max_attempts) {
-      sim::Challenge c = sim::random_challenge(model.stages(), serial_rng);
+      Rng candidate_rng = family.stream(serial.candidates_tried);
+      sim::Challenge c;
+      puf::ChallengeScreener::candidate_into(c, model.stages(), candidate_rng);
       ++serial.candidates_tried;
       bool stable = true;
       bool bit = false;

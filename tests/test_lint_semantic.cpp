@@ -406,6 +406,58 @@ TEST(LintGuardedBy, AMarkerDischargingNothingIsStale) {
   EXPECT_NE(hits[0].message.find("stale"), std::string::npos);
 }
 
+// --- Scalar-eval (issuance hot path) ----------------------------------------
+
+TEST(LintScalarEval, FlagsPerChallengeModelEvalInTheIssuanceHotPath) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/puf/authentication.cpp",
+       "void issue(const ServerModel& model, std::size_t n) {\n"
+       "  XPUF_REQUIRE(n >= 1, \"n\");\n"
+       "  for (std::size_t i = 0; i < n; ++i) {\n"
+       "    Challenge c = next(i);\n"
+       "    out.push_back(model.predict_xor(c, n));\n"
+       "  }\n"
+       "}\n"},
+  });
+  const auto hits = with_rule(report, "scalar-eval");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 5u);
+  EXPECT_NE(hits[0].message.find("ChallengeScreener"), std::string::npos);
+}
+
+TEST(LintScalarEval, ModelEvalOutsideTheHotPathFilesIsClean) {
+  // The same per-challenge call is legal in enrollment (it IS the model), and
+  // a bare member access without a call never matches in the scoped files.
+  const Report report = xpuf::lint::analyze_files({
+      {"src/puf/enrollment.cpp",
+       "bool eval(const ServerModel& model, const Challenge& c, std::size_t n) {\n"
+       "  XPUF_REQUIRE(n >= 1, \"n\");\n"
+       "  return model.predict_xor(c, n);\n"
+       "}\n"},
+      {"src/puf/selection.cpp",
+       "std::size_t count_stable(const std::vector<Row>& rows) {\n"
+       "  std::size_t n = 0;\n"
+       "  for (const Row& row : rows)\n"
+       "    if (row.all_stable) ++n;\n"
+       "  return n;\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(with_rule(report, "scalar-eval").empty());
+}
+
+TEST(LintScalarEval, ADeclaredScalarFallbackIsBudgetedByItsAllowComment) {
+  const Report report = xpuf::lint::analyze_files({
+      {"src/puf/authentication.cpp",
+       "bool fallback(const ServerModel& model, const Challenge& c, std::size_t n) {\n"
+       "  XPUF_REQUIRE(n >= 1, \"n\");\n"
+       "  " + lint_marker("allow(scalar-eval)") + "\n" +
+       "  return model.predict_xor(c, n);\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(with_rule(report, "scalar-eval").empty());
+  EXPECT_EQ(report.stats.suppressions_by_rule.at("scalar-eval"), 1u);
+}
+
 // --- Suppression budget -----------------------------------------------------
 
 TEST(LintSuppressionBudget, AllowMarkersAreCountedAndFilterFindings) {

@@ -230,7 +230,7 @@ TEST(ObservabilityIntegration, DatabaseCountersMatchOutcomeFields) {
   puf::ServerModel m = puf::Enroller(ecfg).enroll(pop.chip(0), rng);
   m.set_betas(puf::BetaFactors{0.85, 1.15});
   puf::ServerDatabase db(
-      puf::DatabaseConfig{.n_pufs = 3, .policy = {.challenge_count = 16}});
+      puf::DatabaseConfig{.n_pufs = 3, .policy = {.challenge_count = 16}, .screening = {}, .pool = {}});
   db.register_device(std::move(m));
 
   auto& registry = MetricsRegistry::global();
@@ -257,7 +257,12 @@ TEST(ObservabilityIntegration, DatabaseCountersMatchOutcomeFields) {
             first.outcome.mismatches + second.outcome.mismatches);
   EXPECT_EQ(snap.spans.at("db.authenticate").calls, 2u);
   EXPECT_EQ(snap.spans.at("db.issue_batch").calls, 2u);
-  EXPECT_EQ(snap.spans.at("selection.select").calls,
+  // Pooling is disabled here, so every issue() is a pool miss served by live
+  // screening — one screening batch per issue, and the pool/issue identity
+  // (pool_hits + pool_misses == issue_requests) holds degenerately.
+  EXPECT_EQ(snap.counters.at("db.issue_requests"), 2u);
+  EXPECT_EQ(snap.counters.at("auth.pool_misses"), 2u);
+  EXPECT_EQ(snap.spans.at("db.issue_batch").calls,
             snap.histograms.at("selection.batch_candidates").total);
 }
 
@@ -329,7 +334,7 @@ TEST(ObservabilityIntegration, UnknownDeviceRequestsAreCounted) {
   puf::ServerModel m = puf::Enroller(ecfg).enroll(pop.chip(0), rng);
   m.set_betas(puf::BetaFactors{0.85, 1.15});
   puf::ServerDatabase db(
-      puf::DatabaseConfig{.n_pufs = 3, .policy = {.challenge_count = 16}});
+      puf::DatabaseConfig{.n_pufs = 3, .policy = {.challenge_count = 16}, .screening = {}, .pool = {}});
   db.register_device(std::move(m));
 
   auto& registry = MetricsRegistry::global();
@@ -407,7 +412,7 @@ TEST(ObservabilityIntegration, ConcurrentDatabaseUseKeepsCountersExact) {
   for (const std::size_t threads : kThreadGrid) {
     ThreadPool::set_global_threads(threads);
     puf::ServerDatabase db(
-        puf::DatabaseConfig{.n_pufs = 3, .policy = {.challenge_count = 16}});
+        puf::DatabaseConfig{.n_pufs = 3, .policy = {.challenge_count = 16}, .screening = {}, .pool = {}});
     // register/revoke need exclusive access: enroll + register serially...
     Rng enroll_rng(808);
     for (std::size_t i = 0; i < kDevices; ++i) {

@@ -11,6 +11,13 @@ net.* counters (tools/ci.sh `service` job, fed by bench_service_load) and
 they must satisfy the frame-conservation and session-partition relations
 the ServiceEngine reconciles.
 
+With --expect-auth (tools/ci.sh `auth` job, fed by bench_auth_throughput)
+the snapshot must carry the issuance-pool and zero-copy-serving counters
+and they must satisfy the pool ledger relations: every issue() is exactly
+one pool hit or one pool miss, refills actually ran and their screening
+cost is visible in the selection.candidates_tried ledger, and mmap bytes
+flow only when mmap hits occur.
+
 With --expect-net-socket (tools/ci.sh `service-socket` job, fed by
 bench_service_load --transport socket) the net.* relations above must hold
 AND the event-loop layer must show its work: the net.async.* counters
@@ -115,19 +122,65 @@ def check_socket_counters(counters: dict, histograms: dict) -> str:
             f"latency_sessions={lat['total']}")
 
 
+def check_auth_counters(counters: dict, gauges: dict, histograms: dict) -> str:
+    """Validates the issuance-pool / zero-copy-serving ledger; returns a summary."""
+    required = [
+        "db.issue_requests", "auth.pool_hits", "auth.pool_misses",
+        "auth.pool_refills", "db.mmap_hits", "db.mmap_bytes",
+    ]
+    for name in required:
+        if name not in counters:
+            fail(f"--expect-auth: counter '{name}' absent")
+    c = counters
+    if c["db.issue_requests"] <= 0:
+        fail("--expect-auth: 'db.issue_requests' is zero — no issuance recorded")
+    # Every issue() resolves to exactly one of the two pool verdicts.
+    if c["auth.pool_hits"] + c["auth.pool_misses"] != c["db.issue_requests"]:
+        fail(f"--expect-auth: pool_hits ({c['auth.pool_hits']}) + pool_misses "
+             f"({c['auth.pool_misses']}) != issue_requests ({c['db.issue_requests']})")
+    if c["auth.pool_hits"] <= 0:
+        fail("--expect-auth: 'auth.pool_hits' is zero — the pooled fast path "
+             "went unexercised")
+    if c["auth.pool_refills"] <= 0:
+        fail("--expect-auth: 'auth.pool_refills' is zero — pools were never "
+             "screened/topped up")
+    # Refill screening must show its work in the selection cost ledger: each
+    # screen() batch lands one observation in selection.batch_candidates, and
+    # accepted challenges are a subset of tried candidates.
+    tried = c.get("selection.candidates_tried", 0)
+    accepted = c.get("selection.accepted", 0)
+    if accepted <= 0 or accepted > tried:
+        fail(f"--expect-auth: selection.accepted ({accepted}) must be positive "
+             f"and <= selection.candidates_tried ({tried})")
+    batches = histograms.get("selection.batch_candidates")
+    if batches is None or batches["total"] < c["auth.pool_refills"]:
+        fail("--expect-auth: 'selection.batch_candidates' must record at least "
+             "one screening batch per pool refill")
+    # Zero-copy serving: bytes flow iff mapped hits occurred.
+    if (c["db.mmap_hits"] > 0) != (c["db.mmap_bytes"] > 0):
+        fail(f"--expect-auth: mmap_hits ({c['db.mmap_hits']}) and mmap_bytes "
+             f"({c['db.mmap_bytes']}) must be zero or nonzero together")
+    if "auth.pool_size" not in gauges:
+        fail("--expect-auth: gauge 'auth.pool_size' absent")
+    return (f"auth: issues={c['db.issue_requests']} hits={c['auth.pool_hits']} "
+            f"refills={c['auth.pool_refills']} mmap_hits={c['db.mmap_hits']}")
+
+
 def main() -> None:
     if len(sys.argv) < 2:
         fail("usage: check_metrics_schema.py <snapshot.json>"
-             " [--allow-zero-replay] [--expect-net]")
+             " [--allow-zero-replay] [--expect-net] [--expect-auth]")
     path = sys.argv[1]
     allow_zero_replay = "--allow-zero-replay" in sys.argv[2:]
+    expect_auth = "--expect-auth" in sys.argv[2:]
     expect_net_socket = "--expect-net-socket" in sys.argv[2:]
     # The socket job checks every lockstep net.* relation first, then the
     # event-loop layer on top.
     expect_net = "--expect-net" in sys.argv[2:] or expect_net_socket
     # The service bench replies to retransmitted submits from its result
-    # cache, so a clean service snapshot legitimately has zero replays.
-    allow_zero_replay = allow_zero_replay or expect_net
+    # cache, so a clean service snapshot legitimately has zero replays; the
+    # auth bench issues disjoint challenge batches, so the same applies.
+    allow_zero_replay = allow_zero_replay or expect_net or expect_auth
     try:
         with open(path, encoding="utf-8") as f:
             snap = json.load(f)
@@ -187,8 +240,11 @@ def main() -> None:
         fail("no spans recorded — TraceSpan instrumentation missing")
 
     net_summary = ""
+    if expect_auth:
+        net_summary += "; " + check_auth_counters(snap["counters"], snap["gauges"],
+                                                  snap["histograms"])
     if expect_net:
-        net_summary = "; " + check_net_counters(snap["counters"])
+        net_summary += "; " + check_net_counters(snap["counters"])
     if expect_net_socket:
         net_summary += "; " + check_socket_counters(snap["counters"],
                                                    snap["histograms"])

@@ -23,6 +23,11 @@
 #             flat-RSS and zero-metrics-drift audits, cold-replay recovery,
 #             compaction); the gate checks the timing JSON and that the
 #             LRU-cached serve path has not regressed behind cold replay
+#   auth      bench_auth_throughput at CI scale (batched screening vs the
+#             serial reference walk, pooled issuance vs live screening —
+#             both asserted bit-identical in-run, with the zero-drift and
+#             flat-RSS audits in the exit code); gates: auth.*/db.mmap_*
+#             counter schema (--expect-auth) and both A/B timing pairs
 #   metrics   one bench run with --metrics-out, then a JSON schema check of
 #             the snapshot (tools/check_metrics_schema.py): counters/gauges/
 #             histograms/spans shape, nonzero selection cost, nonzero replay
@@ -181,6 +186,24 @@ store_job() {
     fi
 }
 
+# Authentication hot path at CI scale. The binary's exit code IS the audit
+# (bit-identical screening modes, pure pooled drains, zero metrics drift,
+# flat RSS); the gates then check the auth.*/db.mmap_* counter schema and
+# both A/B pairs (batched-screening, pooled-issue) for regressions. The
+# acceptance-scale >= 3x pooled floor runs on the million-device fleet
+# (BENCH_auth_throughput.json), not here — CI shares one noisy core.
+auth_job() {
+  "${prefix}/bench/bench_auth_throughput" --devices 4000 --auths 800 \
+    --metrics-out "${logdir}/auth_metrics.json" &&
+    if command -v python3 >/dev/null 2>&1; then
+      python3 tools/check_metrics_schema.py "${logdir}/auth_metrics.json" \
+        --expect-auth &&
+        python3 tools/check_bench_regression.py bench_out/auth_throughput_timing.json
+    else
+      echo "python3 absent; gates skipped (bench_out/auth_throughput_timing.json)"
+    fi
+}
+
 # Lint artifact + suppression-budget gate. The engine's exit code is folded
 # into the python gate (which prints the offending findings); without
 # python3 the raw exit code is the gate.
@@ -241,6 +264,7 @@ run_job lint lint_job
 run_job fanalyzer fanalyzer_job
 run_job bench bench_job
 run_job store store_job
+run_job auth auth_job
 run_job metrics metrics_job
 run_job service service_job
 run_job service-socket service_socket_job

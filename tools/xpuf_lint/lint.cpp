@@ -44,7 +44,10 @@ const std::vector<RuleInfo> kRules = {
      "field-by-field with explicit little-endian put_/read_ helpers"},
     {"scalar-eval",
      "per-challenge delay_difference/one_probability/measure_soft_response call in a "
-     "protocol hot path; evaluate batches through the FeatureBlock core (sim/linear.hpp)"},
+     "protocol hot path — evaluate batches through the FeatureBlock core "
+     "(sim/linear.hpp) — or per-challenge model evaluation (predict_xor and friends) "
+     "in the issuance files; screen candidates in blocks through ChallengeScreener "
+     "(puf/screening.hpp)"},
     {"ml-dot",
      "hand-rolled row-wise dot-product loop in src/ml/; route it through linalg::dot or "
      "the GEMM kernels (matmul_nt / matmul_tn) so batch and scalar paths share one "
@@ -461,6 +464,27 @@ std::vector<Violation> lint_source(const std::string& rel_path, const std::strin
         report("scalar-eval", i,
                "per-challenge scalar evaluation call site; route the batch through the "
                "FeatureBlock core (sim/linear.hpp)");
+  }
+
+  // The issuance hot path raises the bar further: on the authentication/
+  // selection/screening/database files, per-challenge MODEL evaluation
+  // (predict_xor and friends, one challenge per call) is also a scalar-eval
+  // finding — candidates must be screened in blocks through
+  // ChallengeScreener. Scoped to exactly those files so model-class
+  // internals (enrollment, model.cpp's own scalar kernels, analysis tools)
+  // stay legal; the deliberate scalar fallback (issue_random's unscreened
+  // baseline) carries an allow comment stating why.
+  const bool model_eval_scope =
+      rel_path == "src/puf/authentication.cpp" || rel_path == "src/puf/selection.cpp" ||
+      rel_path == "src/puf/screening.cpp" || rel_path == "src/puf/database.cpp";
+  if (model_eval_scope) {
+    static const std::regex model_eval_call(
+        R"((\.|->)\s*(predict_soft|predict_xor|all_stable|predict_response)\s*\()");
+    for (std::size_t i = 0; i < code_lines.size(); ++i)
+      if (std::regex_search(code_lines[i], model_eval_call))
+        report("scalar-eval", i,
+               "per-challenge model evaluation in the issuance hot path; screen "
+               "candidates in blocks through ChallengeScreener (puf/screening.hpp)");
   }
 
   // ml-dot: the ML stack's forward passes and objectives share one
